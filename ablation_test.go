@@ -1,0 +1,138 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: which
+// compiler and cost-model mechanisms the Table 1 result actually rests
+// on. Each ablation disables one mechanism in the flattened router build
+// and reports the resulting per-packet cycles.
+package knit
+
+import (
+	"testing"
+
+	"knit/internal/clack"
+	"knit/internal/knit/build"
+	"knit/internal/machine"
+)
+
+func measureTuned(tb testing.TB, v clack.Variant, packets int, tune func(*build.Options)) *clack.Measurement {
+	tb.Helper()
+	res, err := clack.BuildRouterTuned(v, tune)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	meas, err := clack.RunRouter(res, clack.DefaultTraffic(packets))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return meas
+}
+
+// TestAblationDirections asserts, with small workloads, that each
+// mechanism contributes in the expected direction.
+func TestAblationDirections(t *testing.T) {
+	const packets = 300
+	flat := clack.Variant{Flattened: true}
+	full := measureTuned(t, flat, packets, nil)
+
+	t.Run("inlining", func(t *testing.T) {
+		// Without inlining, flattening loses most of its benefit: calls
+		// remain even though they are intra-file.
+		noInline := measureTuned(t, flat, packets, func(o *build.Options) {
+			o.InlineLimit = -1
+		})
+		t.Logf("flat %d cycles; flat-without-inlining %d cycles",
+			int(full.CyclesPerPk), int(noInline.CyclesPerPk))
+		if noInline.CyclesPerPk <= full.CyclesPerPk {
+			t.Errorf("disabling inlining should cost cycles: %.0f <= %.0f",
+				noInline.CyclesPerPk, full.CyclesPerPk)
+		}
+	})
+
+	t.Run("cse", func(t *testing.T) {
+		// Without CSE, the inlined pipeline re-reads packet fields.
+		noCSE := measureTuned(t, flat, packets, func(o *build.Options) {
+			o.DisableCSE = true
+		})
+		t.Logf("flat %d cycles; flat-without-cse %d cycles",
+			int(full.CyclesPerPk), int(noCSE.CyclesPerPk))
+		if noCSE.CyclesPerPk <= full.CyclesPerPk {
+			t.Errorf("disabling CSE should cost cycles: %.0f <= %.0f",
+				noCSE.CyclesPerPk, full.CyclesPerPk)
+		}
+	})
+
+	t.Run("icache", func(t *testing.T) {
+		// A large cache reduces the stall column to cold-start noise
+		// (compulsory misses amortized over the run).
+		mod := measureTuned(t, clack.Variant{}, packets, nil)
+		big := measureTuned(t, clack.Variant{}, packets, func(o *build.Options) {
+			o.Costs.ICacheBytes = 1 << 20
+		})
+		t.Logf("modular stalls: %.1f/packet (2 KB cache) vs %.1f/packet (1 MB cache)",
+			mod.StallsPerPk, big.StallsPerPk)
+		if big.StallsPerPk > mod.StallsPerPk/10 {
+			t.Errorf("1 MB cache should cut stalls by >10x: %.1f vs %.1f",
+				big.StallsPerPk, mod.StallsPerPk)
+		}
+	})
+
+	t.Run("sequential-prefetch", func(t *testing.T) {
+		// Without sequential prefetch, flattened (straight-line) code
+		// pays full misses and its stall advantage over modular shrinks
+		// or reverses.
+		noPrefFlat := measureTuned(t, flat, packets, func(o *build.Options) {
+			o.Costs.ICacheSeqMiss = o.Costs.ICacheMiss
+		})
+		noPrefMod := measureTuned(t, clack.Variant{}, packets, func(o *build.Options) {
+			o.Costs.ICacheSeqMiss = o.Costs.ICacheMiss
+		})
+		mod := measureTuned(t, clack.Variant{}, packets, nil)
+		advWith := mod.StallsPerPk - full.StallsPerPk
+		advWithout := noPrefMod.StallsPerPk - noPrefFlat.StallsPerPk
+		t.Logf("stall advantage of flat over modular: with prefetch %.0f, without %.0f",
+			advWith, advWithout)
+		if advWithout >= advWith {
+			t.Errorf("sequential prefetch should be what favours flattening: %.0f >= %.0f",
+				advWithout, advWith)
+		}
+	})
+}
+
+func benchAblation(b *testing.B, v clack.Variant, tune func(*build.Options)) {
+	packets := b.N
+	if packets < 50 {
+		packets = 50
+	}
+	meas := measureTuned(b, v, packets, tune)
+	b.ReportMetric(meas.CyclesPerPk, "cycles/packet")
+	b.ReportMetric(meas.StallsPerPk, "stalls/packet")
+}
+
+func BenchmarkAblationFlatNoInlining(b *testing.B) {
+	benchAblation(b, clack.Variant{Flattened: true}, func(o *build.Options) { o.InlineLimit = -1 })
+}
+
+func BenchmarkAblationFlatNoCSE(b *testing.B) {
+	benchAblation(b, clack.Variant{Flattened: true}, func(o *build.Options) { o.DisableCSE = true })
+}
+
+func BenchmarkAblationFlatInline64(b *testing.B) {
+	benchAblation(b, clack.Variant{Flattened: true}, func(o *build.Options) { o.InlineLimit = 64 })
+}
+
+func BenchmarkAblationFlatNoPrefetch(b *testing.B) {
+	benchAblation(b, clack.Variant{Flattened: true}, func(o *build.Options) {
+		o.Costs.ICacheSeqMiss = o.Costs.ICacheMiss
+	})
+}
+
+func BenchmarkAblationModularBigICache(b *testing.B) {
+	benchAblation(b, clack.Variant{}, func(o *build.Options) {
+		o.Costs.ICacheBytes = 1 << 20
+	})
+}
+
+func BenchmarkAblationFlatUnoptimized(b *testing.B) {
+	benchAblation(b, clack.Variant{Flattened: true}, func(o *build.Options) {
+		o.Optimize = false
+		o.Costs = func() machine.Costs { c := machine.DefaultCosts(); c.ICacheBytes = 2048; c.FuncPad = 64; return c }()
+	})
+}

@@ -1,0 +1,107 @@
+// Command clack builds and runs the Clack modular router (the paper's
+// §5.2 system). It accepts a Click-syntax configuration file — or uses
+// the standard 24-component IP router — compiles it to Knit units, runs
+// a synthetic packet stream through the simulated machine, and reports
+// per-packet cycles and device statistics.
+//
+// Usage:
+//
+//	clack [-config file] [-variant modular|hand|flattened|both] [-packets N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knit/internal/clack"
+	"knit/internal/knit/build"
+	"knit/internal/knit/link"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "Click-syntax configuration file (default: the standard IP router)")
+		variant    = flag.String("variant", "modular", "modular | hand | flattened | both")
+		packets    = flag.Int("packets", 1000, "number of packets to route")
+		dumpUnits  = flag.Bool("dump-units", false, "print the generated Knit units and exit")
+	)
+	flag.Parse()
+
+	if *configPath != "" {
+		runCustom(*configPath, *packets, *dumpUnits)
+		return
+	}
+
+	var v clack.Variant
+	switch *variant {
+	case "modular":
+	case "hand":
+		v = clack.Variant{HandOptimized: true}
+	case "flattened":
+		v = clack.Variant{Flattened: true}
+	case "both":
+		v = clack.Variant{HandOptimized: true, Flattened: true}
+	default:
+		fail(fmt.Errorf("unknown variant %q", *variant))
+	}
+	meas, err := clack.MeasureVariant(v, clack.DefaultTraffic(*packets))
+	if err != nil {
+		fail(err)
+	}
+	report(meas)
+}
+
+func runCustom(path string, packets int, dumpUnits bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	g, err := clack.ParseConfig(string(data))
+	if err != nil {
+		fail(err)
+	}
+	units, genSources, top, err := g.CompileToKnit("CustomRouter")
+	if err != nil {
+		fail(err)
+	}
+	full := clack.ElementUnits + units
+	if dumpUnits {
+		fmt.Print(units)
+		return
+	}
+	sources := link.Sources{}
+	for k, v := range clack.ElementSources() {
+		sources[k] = v
+	}
+	for k, v := range genSources {
+		sources[k] = v
+	}
+	res, err := build.Build(build.Options{
+		Top:       top,
+		UnitFiles: map[string]string{"custom.unit": full},
+		Sources:   sources,
+		Optimize:  true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	meas, err := clack.RunRouter(res, clack.DefaultTraffic(packets))
+	if err != nil {
+		fail(err)
+	}
+	report(meas)
+}
+
+func report(m *clack.Measurement) {
+	fmt.Printf("clack %s: %d packets\n", m.Variant, m.Packets)
+	fmt.Printf("  %.0f cycles/packet (%.0f i-fetch stall cycles), text %d bytes\n",
+		m.CyclesPerPk, m.StallsPerPk, m.TextBytes)
+	fmt.Printf("  forwarded %d (dev0 %d, dev1 %d), dropped %d\n",
+		m.Forwarded, m.Stats.Tx[0], m.Stats.Tx[1], m.Dropped)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "clack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+// Command knit is the Knit compiler driver: it reads unit-definition
+// files and the cmini sources they reference, links the requested top
+// unit, checks constraints, schedules initializers, and either reports
+// on the build or executes an exported function on the simulated
+// machine.
+//
+// Usage:
+//
+//	knit -top Kernel [-run bundle.symbol [-arg N]] [flags] file.unit...
+//
+// Source files named by units' files{} sections are read from the
+// directory given by -src (default: the directory of the first unit
+// file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"knit/internal/asm"
+	"knit/internal/knit/build"
+	"knit/internal/knit/link"
+	"knit/internal/machine"
+)
+
+func main() {
+	var (
+		top      = flag.String("top", "", "top unit to build (required)")
+		srcDir   = flag.String("src", "", "directory for C sources (default: unit file directory)")
+		run      = flag.String("run", "", "exported function to execute, as bundle.symbol")
+		arg      = flag.Int64("arg", 0, "argument passed to the executed function")
+		check    = flag.Bool("check", true, "run the constraint checker")
+		optimize = flag.Bool("O", false, "enable the optimizer")
+		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
+		schedule = flag.Bool("schedule", false, "print the initializer/finalizer schedule")
+		dumpFlat = flag.Bool("dump-flat", false, "print the flattened merged source and exit")
+		dumpAsm  = flag.Bool("dump-asm", false, "print the linked program as assembly and exit")
+	)
+	flag.Parse()
+	if *top == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: knit -top Unit [flags] file.unit...")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	unitFiles := map[string]string{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		unitFiles[path] = string(data)
+	}
+	dir := *srcDir
+	if dir == "" {
+		dir = filepath.Dir(flag.Args()[0])
+	}
+	sources, err := loadSources(unitFiles, dir)
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := build.Build(build.Options{
+		Top:       *top,
+		UnitFiles: unitFiles,
+		Sources:   sources,
+		Optimize:  *optimize,
+		Flatten:   *flatten,
+		Check:     *check,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *dumpFlat {
+		src, err := build.SourceOf(res.Program, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(src)
+		return
+	}
+	if *dumpAsm {
+		fmt.Print(asm.Format(res.Object))
+		return
+	}
+	fmt.Printf("knit: built %s: %d unit instances, %d initializers, text %d bytes\n",
+		*top, len(res.Program.Instances), len(res.Schedule.Inits), res.Image.TextSize)
+	if res.ConstraintReport != nil && res.ConstraintReport.Vars > 0 {
+		fmt.Printf("knit: constraints OK (%d variables, %d relations)\n",
+			res.ConstraintReport.Vars, res.ConstraintReport.Relations)
+	}
+	if *schedule {
+		fmt.Println("init order:")
+		for i, name := range res.Schedule.Inits {
+			fmt.Printf("  %2d. %s\n", i+1, name)
+		}
+		if len(res.Schedule.Fins) > 0 {
+			fmt.Println("fini order:")
+			for i, name := range res.Schedule.Fins {
+				fmt.Printf("  %2d. %s\n", i+1, name)
+			}
+		}
+	}
+	if *run != "" {
+		parts := strings.SplitN(*run, ".", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf("-run wants bundle.symbol, got %q", *run))
+		}
+		m := res.NewMachine()
+		con := machine.InstallConsole(m)
+		ser := machine.InstallSerial(m)
+		machine.InstallStopWatch(m)
+		v, err := res.Run(m, parts[0], parts[1], *arg)
+		if err != nil {
+			fail(err)
+		}
+		if out := con.String(); out != "" {
+			fmt.Printf("console | %s\n", strings.ReplaceAll(out, "\n", "\nconsole | "))
+		}
+		if out := ser.String(); out != "" {
+			fmt.Printf("serial  | %s\n", strings.ReplaceAll(out, "\n", "\nserial  | "))
+		}
+		fmt.Printf("%s(%d) = %d   [%d cycles, %d instructions]\n",
+			*run, *arg, v, m.Cycles, m.Executed)
+	}
+}
+
+// loadSources reads every file mentioned in any unit's files{} section.
+// It scans the unit sources textually for quoted names and loads those
+// that exist under dir; the builder reports precisely which file is
+// missing if one is needed but absent.
+func loadSources(unitFiles map[string]string, dir string) (link.Sources, error) {
+	sources := link.Sources{}
+	for _, text := range unitFiles {
+		for _, name := range quotedStrings(text) {
+			if _, done := sources[name]; done {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				continue // the builder errors if the unit actually needs it
+			}
+			sources[name] = string(data)
+		}
+	}
+	return sources, nil
+}
+
+func quotedStrings(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := strings.IndexByte(s[i+1:], '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[i+1:i+1+j])
+		s = s[i+j+2:]
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "knit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"knit/internal/knit/build"
+	"knit/internal/machine"
+)
+
+func TestQuotedStrings(t *testing.T) {
+	got := quotedStrings(`files { "a.c", "b.c" }; flags F = { "-O" }`)
+	want := []string{"a.c", "b.c", "-O"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("quotedStrings = %v, want %v", got, want)
+	}
+	if quotedStrings("no strings here") != nil {
+		t.Error("expected nil for no strings")
+	}
+	if quotedStrings(`unterminated "abc`) != nil {
+		t.Error("unterminated quote should yield nothing")
+	}
+}
+
+// TestCLIEndToEnd drives the same path the knit command does, against
+// the on-disk testdata: read unit file, load referenced sources, build,
+// run.
+func TestCLIEndToEnd(t *testing.T) {
+	dir := filepath.Join("testdata", "webserver")
+	unitPath := filepath.Join(dir, "web.unit")
+	data, err := os.ReadFile(unitPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitFiles := map[string]string{unitPath: string(data)}
+	sources, err := loadSources(unitFiles, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"web.c", "log.c", "driver.c", "stdio.c",
+		"serve_file.c", "serve_cgi.c"} {
+		if _, ok := sources[want]; !ok {
+			t.Errorf("loadSources missing %q", want)
+		}
+	}
+	res, err := build.Build(build.Options{
+		Top:       "LogServe",
+		UnitFiles: unitFiles,
+		Sources:   sources,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	v, err := res.Run(m, "main", "run", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 200 {
+		t.Errorf("run(0) = %d, want 200", v)
+	}
+	out := con.String()
+	if !strings.Contains(out, "F") || !strings.Contains(out, "/index.html") ||
+		!strings.HasSuffix(out, "<eof>") {
+		t.Errorf("console = %q", out)
+	}
+}

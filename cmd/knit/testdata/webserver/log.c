@@ -1,0 +1,12 @@
+int serve_unlogged(int s, char *path);
+int fopen(char *name, char *mode);
+int fprintf(int f, char *s);
+static int log_;
+void open_log(void) { log_ = fopen("ServerLog", "a"); }
+void close_log(void) { fprintf(log_, "<eof>"); }
+int serve_logged(int s, char *path) {
+    int r;
+    r = serve_unlogged(s, path);
+    fprintf(log_, path);
+    return r;
+}

@@ -1,0 +1,157 @@
+// Dynamic: Knit's §8 dynamic-linking extension. A kernel with a counter
+// service runs; a monitoring module is linked into the live machine,
+// wired to the running service, constraint-checked at the dynamic
+// boundary, initialized, and invoked — then a second module that
+// violates the running configuration's constraints is rejected before
+// any of its code loads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/link"
+)
+
+const baseUnits = `
+property context
+type NoContext
+type ProcessContext < NoContext
+
+bundletype Count = { bump, current }
+bundletype Lock  = { lock_acquire, lock_release }
+
+unit Counter = {
+  exports [ count : Count ];
+  initializer count_init for count;
+  files { "counter.c" };
+}
+unit BlockingLock = {
+  exports [ lock : Lock ];
+  files { "lock.c" };
+  constraints { context(lock) = ProcessContext; };
+}
+unit Base = {
+  exports [ count : Count, lock : Lock ];
+  link {
+    [count] <- Counter <- [];
+    [lock] <- BlockingLock <- [];
+  };
+}
+`
+
+var baseSources = link.Sources{
+	"counter.c": `
+static int n;
+void count_init(void) { n = 1000; }
+int bump(void) { n++; return n; }
+int current(void) { return n; }
+`,
+	"lock.c": `
+static int held;
+int lock_acquire(void) { held = 1; return 1; }
+int lock_release(void) { held = 0; return 1; }
+`,
+}
+
+const monitorUnits = `
+bundletype Monitor = { sample }
+unit MonitorU = {
+  imports [ count : Count ];
+  exports [ mon : Monitor ];
+  initializer mon_init for mon;
+  depends { mon needs count; mon_init needs count; };
+  files { "monitor.c" };
+}
+`
+
+var monitorSources = link.Sources{
+	"monitor.c": `
+int current(void);
+static int baseline;
+void mon_init(void) { baseline = current(); }
+int sample(void) { return current() - baseline; }
+`,
+}
+
+const irqUnits = `
+bundletype Irq = { irq_handle }
+unit DynIrq = {
+  imports [ lock : Lock ];
+  exports [ irq : Irq ];
+  depends { irq needs lock; };
+  files { "irq.c" };
+  constraints {
+    context(irq) = NoContext;
+    context(exports) <= context(imports);
+  };
+}
+`
+
+var irqSources = link.Sources{
+	"irq.c": `
+int lock_acquire(void);
+int lock_release(void);
+int irq_handle(int v) { lock_acquire(); lock_release(); return v; }
+`,
+}
+
+func main() {
+	res, err := build.Build(build.Options{
+		Top:       "Base",
+		UnitFiles: map[string]string{"base.unit": baseUnits},
+		Sources:   baseSources,
+		Check:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.NewMachine()
+	if err := res.RunInit(m); err != nil {
+		log.Fatal(err)
+	}
+	bump, _ := res.Export("count", "bump")
+	for i := 0; i < 5; i++ {
+		if _, err := m.Run(bump); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("base kernel running; counter bumped 5 times")
+
+	// Load the monitor into the live machine.
+	mon, err := res.LoadDynamic(m, build.DynamicUnit{
+		Unit:      "MonitorU",
+		UnitFiles: map[string]string{"mon.unit": monitorUnits},
+		Sources:   monitorSources,
+		Wiring:    map[string]string{"count": "count"},
+		Check:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("monitor module dynamically linked and initialized")
+	for i := 0; i < 3; i++ {
+		m.Run(bump)
+	}
+	sample, _ := mon.ExportSymbol("mon", "sample")
+	v, err := m.Run(sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitor.sample() = %d bumps since it was loaded\n", v)
+
+	// A module whose constraints conflict with the running configuration
+	// is rejected at the dynamic boundary.
+	_, err = res.LoadDynamic(m, build.DynamicUnit{
+		Unit:      "DynIrq",
+		UnitFiles: map[string]string{"irq.unit": irqUnits},
+		Sources:   irqSources,
+		Wiring:    map[string]string{"lock": "lock"},
+		Check:     true,
+	})
+	if err == nil {
+		log.Fatal("expected the interrupt module to be rejected")
+	}
+	fmt.Printf("interrupt module rejected at the dynamic boundary:\n  %v\n", err)
+}

@@ -1,0 +1,83 @@
+// Kernelconfig: assembling OSKit-style kernels with Knit — the §5
+// experience. It shows printf redirection by wiring (two instances of
+// the same printf component bound to different devices), automatic
+// initializer scheduling, an allocator swapped by editing one link line,
+// and the constraint checker rejecting a blocking lock on the interrupt
+// path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knit/internal/knit/build"
+	"knit/internal/machine"
+	"knit/internal/oskit"
+)
+
+func main() {
+	hello()
+	redirection()
+	allocatorSwap()
+	constraints()
+}
+
+func hello() {
+	res, err := oskit.BuildKernel("HelloKernel", build.Options{Check: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	v, err := res.Run(m, "main", "kmain", 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HelloKernel: kmain(21) = %d, console %q\n", v, con.String())
+}
+
+func redirection() {
+	// RedirectKernel wires one PrintfU instance to the console device and
+	// a second instance to the serial port; application and driver output
+	// separate without touching any C code.
+	res, err := oskit.BuildKernel("RedirectKernel", build.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	ser := machine.InstallSerial(m)
+	if _, err := res.Run(m, "main", "kmain", 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RedirectKernel: console=%q serial=%q\n", con.String(), ser.String())
+}
+
+func allocatorSwap() {
+	for _, top := range []string{"FsKernel", "FsKernelListAlloc"} {
+		res, err := oskit.BuildKernel(top, build.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.NewMachine()
+		machine.InstallConsole(m)
+		machine.InstallStopWatch(m)
+		v, err := res.Run(m, "main", "kmain", 25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: init order %v, kmain(25) = %d\n", top, res.Schedule.Inits, v)
+	}
+}
+
+func constraints() {
+	if _, err := oskit.BuildKernel("SafeIrqKernel", build.Options{Check: true}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SafeIrqKernel: spinlock under the interrupt handler — constraints PASS")
+	_, err := oskit.BuildKernel("BadIrqKernel", build.Options{Check: true})
+	if err == nil {
+		log.Fatal("BadIrqKernel unexpectedly passed")
+	}
+	fmt.Printf("BadIrqKernel: blocking lock under the interrupt handler — REJECTED:\n  %v\n", err)
+}

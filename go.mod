@@ -1,0 +1,3 @@
+module knit
+
+go 1.22

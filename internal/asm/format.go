@@ -1,0 +1,144 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"knit/internal/cmini"
+	"knit/internal/obj"
+)
+
+// Format renders an object file as assembly source that Parse accepts,
+// giving object files a textual on-disk form (so "object code" units can
+// be distributed as .s files and re-linked by Knit, per the paper's
+// claim that Knit works with object code).
+func Format(f *obj.File) string {
+	var b strings.Builder
+	// Externs: undefined symbols.
+	var externs []string
+	for _, s := range f.Syms {
+		if !s.Defined {
+			externs = append(externs, s.Name)
+		}
+	}
+	sort.Strings(externs)
+	for _, name := range externs {
+		fmt.Fprintf(&b, "extern %s\n", name)
+	}
+	for _, s := range f.Strings {
+		fmt.Fprintf(&b, "string %q\n", s)
+	}
+	var datas []string
+	for name := range f.Datas {
+		datas = append(datas, name)
+	}
+	sort.Strings(datas)
+	for _, name := range datas {
+		d := f.Datas[name]
+		fmt.Fprintf(&b, "data %s size=%d", d.Name, d.Size)
+		if d.Local {
+			b.WriteString(" local")
+		}
+		b.WriteString("\n")
+		for _, init := range d.Init {
+			switch init.Kind {
+			case obj.InitConst:
+				fmt.Fprintf(&b, "  init %d = %d\n", init.Offset, init.Val)
+			case obj.InitSym:
+				fmt.Fprintf(&b, "  init %d = &%s\n", init.Offset, init.Sym)
+			case obj.InitString:
+				fmt.Fprintf(&b, "  init %d = str %d\n", init.Offset, init.Index)
+			}
+		}
+	}
+	var funcs []string
+	for name := range f.Funcs {
+		funcs = append(funcs, name)
+	}
+	sort.Slice(funcs, func(i, j int) bool {
+		a, bb := f.Funcs[funcs[i]], f.Funcs[funcs[j]]
+		if a.Order != bb.Order {
+			return a.Order < bb.Order
+		}
+		return a.Name < bb.Name
+	})
+	for _, name := range funcs {
+		fn := f.Funcs[name]
+		local := ""
+		if s := f.Sym(name); s != nil && s.Local {
+			local = " local"
+		}
+		fmt.Fprintf(&b, "\nfunc %s nargs=%d nregs=%d frame=%d%s\n",
+			fn.Name, fn.NArgs, fn.NRegs, fn.Frame, local)
+		// Labels for every jump/branch target.
+		targets := map[int]bool{}
+		for _, in := range fn.Code {
+			switch in.Op {
+			case obj.OpJump:
+				targets[in.Targets[0]] = true
+			case obj.OpBranch:
+				targets[in.Targets[0]] = true
+				targets[in.Targets[1]] = true
+			}
+		}
+		label := func(i int) string { return fmt.Sprintf("L%d", i) }
+		for i, in := range fn.Code {
+			if targets[i] {
+				fmt.Fprintf(&b, "%s:\n", label(i))
+			}
+			switch in.Op {
+			case obj.OpConst:
+				fmt.Fprintf(&b, "  const r%d, %d\n", in.Dst, in.Imm)
+			case obj.OpMov:
+				fmt.Fprintf(&b, "  mov r%d, r%d\n", in.Dst, in.A)
+			case obj.OpBin:
+				fmt.Fprintf(&b, "  bin r%d, r%d, %s, r%d\n", in.Dst, in.A, cmini.Tok(in.Tok), in.B)
+			case obj.OpUn:
+				fmt.Fprintf(&b, "  un r%d, %s, r%d\n", in.Dst, cmini.Tok(in.Tok), in.A)
+			case obj.OpLoad:
+				fmt.Fprintf(&b, "  load r%d, r%d\n", in.Dst, in.A)
+			case obj.OpStore:
+				fmt.Fprintf(&b, "  store r%d, r%d\n", in.A, in.B)
+			case obj.OpAddrGlobal:
+				fmt.Fprintf(&b, "  addrg r%d, %s\n", in.Dst, in.Sym)
+			case obj.OpAddrLocal:
+				fmt.Fprintf(&b, "  addrl r%d, %d\n", in.Dst, in.Imm)
+			case obj.OpAddrString:
+				fmt.Fprintf(&b, "  addrs r%d, %d\n", in.Dst, in.Imm)
+			case obj.OpCall:
+				fmt.Fprintf(&b, "  call r%d, %s%s\n", in.Dst, in.Sym, regList(in.Args))
+			case obj.OpCallInd:
+				fmt.Fprintf(&b, "  callind r%d, r%d%s\n", in.Dst, in.A, regList(in.Args))
+			case obj.OpJump:
+				fmt.Fprintf(&b, "  jump %s\n", label(in.Targets[0]))
+			case obj.OpBranch:
+				fmt.Fprintf(&b, "  branch r%d, %s, %s\n", in.A,
+					label(in.Targets[0]), label(in.Targets[1]))
+			case obj.OpRet:
+				if in.HasVal {
+					fmt.Fprintf(&b, "  ret r%d\n", in.A)
+				} else {
+					b.WriteString("  ret\n")
+				}
+			}
+		}
+		// A label may point one past the last instruction (loop exits).
+		if targets[len(fn.Code)] {
+			fmt.Fprintf(&b, "%s:\n", label(len(fn.Code)))
+			b.WriteString("  ret\n")
+		}
+	}
+	return b.String()
+}
+
+func regList(args []obj.Reg) string {
+	var parts []string
+	for _, r := range args {
+		parts = append(parts, fmt.Sprintf("r%d", r))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
+}

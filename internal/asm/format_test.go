@@ -1,0 +1,111 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/cmini"
+	"knit/internal/compile"
+	"knit/internal/machine"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	src := `
+string "x"
+data tab size=3 local
+  init 0 = 1
+  init 2 = &f
+
+func f nargs=1 nregs=3
+  const r1, 2
+L0:
+  branch r0, L1, L2
+L1:
+  bin r0, r0, -, r1
+  jump L0
+L2:
+  ret r0
+`
+	f1, err := Parse("a.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Format(f1)
+	f2, err := Parse("b.s", out1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out1)
+	}
+	out2 := Format(f2)
+	if out1 != out2 {
+		t.Errorf("format not idempotent:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+// TestDisassembleCompiledCode compiles real cmini code, serializes it to
+// assembly, reassembles it, and checks both programs compute the same
+// results — object files have a faithful textual form.
+func TestDisassembleCompiledCode(t *testing.T) {
+	csrc := `
+static int memo = 0;
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int work(int n) {
+    memo = memo + n;
+    int arr[4];
+    for (int i = 0; i < 4; i++) { arr[i] = fib(i + n % 5); }
+    int s = memo;
+    for (int i = 0; i < 4; i++) { s += arr[i]; }
+    return s;
+}
+`
+	cf, err := cmini.Parse("w.c", csrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []bool{false, true} {
+		o, err := compile.Compile(cf, compile.Options{Opt: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := Format(o)
+		o2, err := Parse("w.s", text)
+		if err != nil {
+			t.Fatalf("opt=%v reassemble: %v\n%s", opt, err, text)
+		}
+		img1, err := machine.Load(o, machine.DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		img2, err := machine.Load(o2, machine.DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int64{0, 3, 9, 17} {
+			m1, m2 := machine.New(img1), machine.New(img2)
+			v1, err1 := m1.Run("work", n)
+			v2, err2 := m2.Run("work", n)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("opt=%v run errors: %v / %v", opt, err1, err2)
+			}
+			if v1 != v2 {
+				t.Errorf("opt=%v work(%d): original %d, reassembled %d", opt, n, v1, v2)
+			}
+		}
+	}
+}
+
+func TestFormatLocalFuncAttribute(t *testing.T) {
+	f, err := Parse("t.s", `
+func hidden nargs=0 nregs=1 local
+  ret r0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	if !strings.Contains(out, "func hidden nargs=0 nregs=1 frame=0 local") {
+		t.Errorf("local attribute lost:\n%s", out)
+	}
+}

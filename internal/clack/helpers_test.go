@@ -1,0 +1,21 @@
+package clack
+
+import (
+	"knit/internal/knit/build"
+	"knit/internal/knit/link"
+	"knit/internal/machine"
+)
+
+// buildFromParts assembles a router build from unit text and sources.
+func buildFromParts(units string, sources link.Sources, top string) (*build.Result, error) {
+	return build.Build(build.Options{
+		Top:       top,
+		UnitFiles: map[string]string{"clack.unit": units},
+		Sources:   sources,
+		Optimize:  true,
+	})
+}
+
+// installTicks registers the measurement builtins without keeping the
+// stopwatch.
+func installTicks(m *machine.M) { machine.InstallStopWatch(m) }

@@ -1,0 +1,196 @@
+package clack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStandardConfig(t *testing.T) {
+	g, err := ParseConfig(StandardRouterConfig)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if len(g.Elements) != 22 {
+		// 22 declared elements + 2 generated DevNo providers = 24
+		// router components (checked in TestClackComponentCensus).
+		t.Errorf("elements = %d, want 22", len(g.Elements))
+	}
+	if len(g.Sources()) != 2 {
+		t.Errorf("sources = %d, want 2", len(g.Sources()))
+	}
+	if len(g.Counters()) != 2 {
+		t.Errorf("counters = %d, want 2", len(g.Counters()))
+	}
+}
+
+func TestClackComponentCensus(t *testing.T) {
+	// Table 1's caption: the modular router is 24 separate components.
+	res, err := BuildRouter(Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := 0
+	for _, inst := range res.Program.Instances {
+		if inst.Unit.Name != "RouterDriver" && inst.Unit.Name != "OSWork" {
+			router++
+		}
+	}
+	if router != 24 {
+		for _, inst := range res.Program.Instances {
+			t.Logf("instance: %s (%s)", inst.Path, inst.Unit.Name)
+		}
+		t.Errorf("router components = %d, want 24", router)
+	}
+}
+
+func TestModularRouterForwards(t *testing.T) {
+	res, err := BuildRouter(Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := RunRouter(res, DefaultTraffic(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Packets != 200 {
+		t.Errorf("measured windows = %d, want 200", meas.Packets)
+	}
+	if meas.Forwarded == 0 || meas.Dropped == 0 {
+		t.Errorf("forwarded=%d dropped=%d; traffic should exercise both paths",
+			meas.Forwarded, meas.Dropped)
+	}
+	if meas.Forwarded+meas.Dropped != 200 {
+		t.Errorf("forwarded %d + dropped %d != 200", meas.Forwarded, meas.Dropped)
+	}
+	if meas.CyclesPerPk <= 0 {
+		t.Error("no cycles measured")
+	}
+}
+
+func TestAllVariantsAgreeOnBehavior(t *testing.T) {
+	spec := DefaultTraffic(300)
+	var base *Measurement
+	for _, v := range []Variant{{}, {Flattened: true}, {HandOptimized: true},
+		{HandOptimized: true, Flattened: true}} {
+		meas, err := MeasureVariant(v, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if base == nil {
+			base = meas
+			continue
+		}
+		if meas.Forwarded != base.Forwarded || meas.Dropped != base.Dropped ||
+			meas.Stats.TxTTLOK != base.Stats.TxTTLOK ||
+			meas.Stats.Tx[0] != base.Stats.Tx[0] || meas.Stats.Tx[1] != base.Stats.Tx[1] {
+			t.Errorf("%s behaves differently from modular: %+v vs %+v",
+				meas.Variant, meas.Stats, base.Stats)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	spec := DefaultTraffic(400)
+	get := func(v Variant) *Measurement {
+		m, err := MeasureVariant(v, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		return m
+	}
+	modular := get(Variant{})
+	hand := get(Variant{HandOptimized: true})
+	flat := get(Variant{Flattened: true})
+	both := get(Variant{HandOptimized: true, Flattened: true})
+
+	t.Logf("modular:  %.0f cycles, %.0f stalls, %d bytes", modular.CyclesPerPk, modular.StallsPerPk, modular.TextBytes)
+	t.Logf("hand:     %.0f cycles, %.0f stalls, %d bytes", hand.CyclesPerPk, hand.StallsPerPk, hand.TextBytes)
+	t.Logf("flat:     %.0f cycles, %.0f stalls, %d bytes", flat.CyclesPerPk, flat.StallsPerPk, flat.TextBytes)
+	t.Logf("both:     %.0f cycles, %.0f stalls, %d bytes", both.CyclesPerPk, both.StallsPerPk, both.TextBytes)
+
+	// Table 1's ordering: modular > hand > flattened > both.
+	if !(modular.CyclesPerPk > hand.CyclesPerPk) {
+		t.Errorf("hand optimization should beat modular: %.0f vs %.0f",
+			hand.CyclesPerPk, modular.CyclesPerPk)
+	}
+	if !(hand.CyclesPerPk > flat.CyclesPerPk) {
+		t.Errorf("flattening should beat hand optimization: %.0f vs %.0f",
+			flat.CyclesPerPk, hand.CyclesPerPk)
+	}
+	if !(flat.CyclesPerPk >= both.CyclesPerPk) {
+		t.Errorf("hand+flat should be at least as fast as flat: %.0f vs %.0f",
+			both.CyclesPerPk, flat.CyclesPerPk)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	cases := []struct{ name, cfg, want string }{
+		{"unknown class", "x :: Bogus;", "unknown element class"},
+		{"redeclared", "x :: Discard; x :: Discard;", "redeclared"},
+		{"unknown element", "x :: Discard; y -> x;", "unknown element"},
+		{"unconnected port", "f :: FromDevice(0);", "not connected"},
+		{"bad port", "d :: Discard; q :: Queue; q [3] -> d; ", "output ports"},
+		{"double connect", "q :: Queue; a :: Discard; b :: Discard; q -> a; q -> b;", "connected twice"},
+		{"into source", "q :: Queue; f :: FromDevice(0); q -> f; f -> q;", "no input"},
+		{"empty", "  ", "empty configuration"},
+		{"garbage", "hello world;", "cannot parse"},
+		{"bad device", "f :: FromDevice(7); d :: Discard; f -> d;", "not available"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := ParseConfig(c.cfg)
+			if err == nil {
+				_, _, _, err = g.CompileToKnit("X")
+			}
+			if err == nil {
+				t.Fatalf("config accepted, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSimpleCountDiscardConfig(t *testing.T) {
+	// The paper's first Click example: FromDevice(0) -> Counter -> Discard.
+	cfg := `
+src :: FromDevice(0);
+cnt :: Counter;
+sink :: Discard;
+src -> cnt -> sink;
+`
+	g, err := ParseConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, sources, top, err := g.CompileToKnit("CountRouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top != "CountRouter" {
+		t.Errorf("top = %q", top)
+	}
+	full := ElementUnits + units
+	for k, v := range ElementSources() {
+		sources[k] = v
+	}
+	res, err := buildFromParts(full, sources, top)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m := res.NewMachine()
+	streams := DefaultTraffic(50).Generate()
+	stats := InstallDevices(m, streams)
+	installTicks(m)
+	if _, err := res.Run(m, "main", "kmain", 100); err != nil {
+		t.Fatal(err)
+	}
+	// Only device 0's stream is consumed, and everything is discarded.
+	if stats.Rx[0] != 25 || stats.Rx[1] != 0 {
+		t.Errorf("rx = %v", stats.Rx)
+	}
+	if stats.Dropped != 25 {
+		t.Errorf("dropped = %d, want 25", stats.Dropped)
+	}
+}

@@ -1,0 +1,140 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+
+	"knit/internal/clack"
+	"knit/internal/cmini"
+	"knit/internal/compile"
+	"knit/internal/ldlink"
+	"knit/internal/machine"
+)
+
+// Build generates and compiles the Click router for the standard
+// configuration. The unoptimized build compiles every element instance
+// as its own translation unit, linked with ld into a single global
+// namespace, ports wired at run time (the object-based model of §2.2).
+// The specializer emits the whole graph as one generated file, like the
+// MIT tools.
+func Build(opts Options) (*machine.Image, error) {
+	g0, err := clack.ParseConfig(clack.StandardRouterConfig)
+	if err != nil {
+		return nil, err
+	}
+	g := graphFromClack(g0)
+	if opts.XForm {
+		g = xform(g)
+	}
+	cg := &codegen{spec: opts.Specialize, fastClass: opts.FastClassifier}
+
+	costs := machine.DefaultCosts()
+	costs.ICacheBytes = 2048
+	costs.FuncPad = 64
+
+	copts := compile.Options{Opt: true, InlineLimit: 2048, GrowthLimit: 1 << 15}
+	var items []ldlink.Item
+	compileTo := func(name, src string) error {
+		f, err := cmini.Parse(name, src)
+		if err != nil {
+			return fmt.Errorf("click: %s: %w", name, err)
+		}
+		o, err := compile.Compile(f, copts)
+		if err != nil {
+			return fmt.Errorf("click: %s: %w", name, err)
+		}
+		items = append(items, ldlink.Obj(o))
+		return nil
+	}
+
+	if opts.Specialize {
+		// One generated translation unit, elements emitted targets-first
+		// so the compiler can inline the whole graph.
+		var b strings.Builder
+		b.WriteString(pktH)
+		cg.noHeader = true
+		for _, e := range topoOrder(g) {
+			src, err := cg.instanceSource(e)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(src)
+			b.WriteString("\n")
+		}
+		b.WriteString(cg.configSource(g))
+		if err := compileTo("click_specialized.c", b.String()); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, e := range g {
+			src, err := cg.instanceSource(e)
+			if err != nil {
+				return nil, err
+			}
+			if err := compileTo(e.name+".c", src); err != nil {
+				return nil, err
+			}
+		}
+		if err := compileTo("config.c", cg.configSource(g)); err != nil {
+			return nil, err
+		}
+	}
+	if err := compileTo("driver.c", driverSource(g)); err != nil {
+		return nil, err
+	}
+	if err := compileTo("oswork.c", clack.ElementSources()["oswork.c"]); err != nil {
+		return nil, err
+	}
+
+	merged, err := ldlink.Link(items, ldlink.Options{
+		AllowUndefined: []string{"__*"},
+		Entry:          "kmain",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return machine.Load(merged, costs)
+}
+
+// Measurement is one Table 2 row.
+type Measurement struct {
+	Opts        Options
+	CyclesPerPk float64
+	StallsPerPk float64
+	TextBytes   int64
+	Packets     int64
+	Forwarded   int
+	Dropped     int
+	Stats       *clack.DeviceStats
+}
+
+// Measure builds and runs the Click router over the given traffic.
+func Measure(opts Options, spec clack.TrafficSpec) (*Measurement, error) {
+	img, err := Build(opts)
+	if err != nil {
+		return nil, fmt.Errorf("build click %s: %w", opts, err)
+	}
+	m := machine.New(img)
+	streams := spec.Generate()
+	stats := clack.InstallDevices(m, streams)
+	watch := machine.InstallStopWatch(m)
+	if _, err := m.Run("kmain", int64(spec.Packets+16)); err != nil {
+		return nil, fmt.Errorf("run click %s: %w", opts, err)
+	}
+	if watch.Windows == 0 {
+		return nil, fmt.Errorf("click: no packets traversed the router")
+	}
+	if len(stats.TxBad) > 0 {
+		return nil, fmt.Errorf("click: malformed transmissions: %v", stats.TxBad)
+	}
+	return &Measurement{
+		Opts:        opts,
+		CyclesPerPk: watch.PerWindow(),
+		StallsPerPk: watch.StallsPerWindow(),
+		TextBytes:   img.TextSize,
+		Packets:     watch.Windows,
+		Forwarded:   stats.Tx[0] + stats.Tx[1],
+		Dropped:     stats.Dropped,
+		Stats:       stats,
+	}, nil
+}

@@ -1,0 +1,137 @@
+package click
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/clack"
+)
+
+// TestEachOptimizationHelps measures the optimizations individually:
+// each must reduce cycles relative to the unoptimized baseline, and
+// their combination must beat each alone (the MIT report's finding).
+func TestEachOptimizationHelps(t *testing.T) {
+	spec := clack.DefaultTraffic(300)
+	base, err := Measure(Options{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := []Options{
+		{FastClassifier: true},
+		{XForm: true},
+		{Specialize: true},
+	}
+	best := base.CyclesPerPk
+	for _, o := range singles {
+		m, err := Measure(o, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", o, err)
+		}
+		t.Logf("%-14s %6.0f cycles (base %6.0f)", o, m.CyclesPerPk, base.CyclesPerPk)
+		if m.CyclesPerPk >= base.CyclesPerPk {
+			t.Errorf("%s did not improve on the baseline: %.0f >= %.0f",
+				o, m.CyclesPerPk, base.CyclesPerPk)
+		}
+		if m.CyclesPerPk < best {
+			best = m.CyclesPerPk
+		}
+	}
+	all, err := Measure(All(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%-14s %6.0f cycles", "all three", all.CyclesPerPk)
+	if all.CyclesPerPk >= best {
+		t.Errorf("combining all three (%.0f) should beat the best single (%.0f)",
+			all.CyclesPerPk, best)
+	}
+}
+
+func TestOptionsString(t *testing.T) {
+	cases := map[string]Options{
+		"unoptimized":                 {},
+		"fastclass":                   {FastClassifier: true},
+		"specializer":                 {Specialize: true},
+		"xform":                       {XForm: true},
+		"fastclass+specializer+xform": All(),
+	}
+	for want, o := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestTopoOrderTargetsFirst(t *testing.T) {
+	g0, err := clack.ParseConfig(clack.StandardRouterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphFromClack(g0)
+	ordered := topoOrder(g)
+	if len(ordered) != len(g) {
+		t.Fatalf("topoOrder lost elements: %d vs %d", len(ordered), len(g))
+	}
+	pos := map[string]int{}
+	for i, e := range ordered {
+		pos[e.name] = i
+	}
+	for _, e := range g {
+		for _, to := range e.conns {
+			if pos[to] > pos[e.name] {
+				t.Errorf("%s's target %s comes after it (%d > %d)",
+					e.name, to, pos[to], pos[e.name])
+			}
+		}
+	}
+}
+
+func TestSpecializedTextSmallerThanModularClick(t *testing.T) {
+	// The specializer + xform shrink both the graph and the per-element
+	// boilerplate; the generated single unit should not be wildly larger
+	// than the baseline.
+	imgBase, err := Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgAll, err := Build(All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("text: base %d bytes, optimized %d bytes", imgBase.TextSize, imgAll.TextSize)
+	if imgAll.TextSize > imgBase.TextSize*4 {
+		t.Errorf("optimized text exploded: %d vs %d", imgAll.TextSize, imgBase.TextSize)
+	}
+}
+
+func TestGeneratedConfigMentionsEveryWire(t *testing.T) {
+	g0, err := clack.ParseConfig(clack.StandardRouterConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphFromClack(g0)
+	cg := &codegen{}
+	cfg := cg.configSource(g)
+	// Every connection appears as a set_out call in the baseline config.
+	for _, e := range g {
+		for i, to := range e.conns {
+			want := e.name + "_set_out"
+			if !strings.Contains(cfg, want) {
+				t.Errorf("config missing %s (port %d -> %s)", want, i, to)
+			}
+		}
+	}
+	if !strings.Contains(cfg, "rt_add_route(10, 0);") {
+		t.Error("config missing route setup")
+	}
+	if !strings.Contains(cfg, "cl0_add_rule(") {
+		t.Error("config missing classifier rules")
+	}
+}
+
+func TestUnknownElementClassRejected(t *testing.T) {
+	cg := &codegen{}
+	if _, err := cg.instanceSource(&inst{name: "x", class: "Teleport"}); err == nil {
+		t.Error("unknown class should error")
+	}
+}

@@ -1,0 +1,117 @@
+package cmini
+
+import "testing"
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("t.c", "int x = 42; /* c */ // line\nchar *s = \"hi\\n\";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tok{KwInt, IDENT, ASSIGN, INT, SEMI, KwChar, STAR, IDENT, ASSIGN, STRING, SEMI}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("tok %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Lit != "42" {
+		t.Errorf("int literal = %q, want 42", toks[3].Lit)
+	}
+	if toks[9].Lit != "hi\n" {
+		t.Errorf("string literal = %q, want hi\\n", toks[9].Lit)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "+ - * / % << >> <<= >>= <= >= == != && || ++ -- -> . ? : ~ ! ^ | & += -="
+	want := []Tok{PLUS, MINUS, STAR, SLASH, PERCENT, SHL, SHR, SHLEQ, SHREQ,
+		LE, GE, EQ, NE, LAND, LOR, INC, DEC, ARROW, DOT, QUESTION, COLON,
+		TILDE, NOT, CARET, PIPE, AMP, ADDEQ, SUBEQ}
+	toks, err := LexAll("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("tok %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := LexAll("t.c", "if ifx while whilex return returning struct structs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tok{KwIf, IDENT, KwWhile, IDENT, KwReturn, IDENT, KwStruct, IDENT}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("tok %d (%q) = %v, want %v", i, toks[i].Lit, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexHexLiteral(t *testing.T) {
+	toks, err := LexAll("t.c", "0x1F 0XFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Lit != "0x1F" || toks[1].Lit != "0XFF" {
+		t.Errorf("hex literals = %q %q", toks[0].Lit, toks[1].Lit)
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	toks, err := LexAll("t.c", `'a' '\n' '\0' '\\'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "\n", "\x00", "\\"}
+	for i, w := range want {
+		if toks[i].Kind != CHAR || toks[i].Lit != w {
+			t.Errorf("char %d = %v %q, want CHAR %q", i, toks[i].Kind, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("f.c", "int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x pos = %v", toks[1].Pos)
+	}
+	if toks[0].Pos.File != "f.c" {
+		t.Errorf("file = %q", toks[0].Pos.File)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated string", `char *s = "abc`},
+		{"unterminated comment", "/* never ends"},
+		{"bad char", "int x = $;"},
+		{"newline in string", "char *s = \"a\nb\";"},
+		{"bad escape", `char *s = "\q";`},
+		{"unterminated char", "'a"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LexAll("t.c", c.src); err == nil {
+				t.Errorf("LexAll(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}

@@ -1,0 +1,761 @@
+package cmini
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError is a syntax error with a source position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parser is a recursive-descent parser for cmini.
+type Parser struct {
+	toks []Token
+	pos  int
+	file string
+}
+
+// Parse parses a cmini source file.
+func Parse(file, src string) (*File, error) {
+	toks, err := LexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file}
+	f := &File{Name: file}
+	for !p.atEOF() {
+		d, err := p.parseTopDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, d)
+	}
+	return f, nil
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() Token {
+	if p.atEOF() {
+		last := Pos{File: p.file, Line: 1, Col: 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekKind(ahead int) Tok {
+	i := p.pos + ahead
+	if i >= len(p.toks) {
+		return EOF
+	}
+	return p.toks[i].Kind
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) accept(k Tok) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Tok) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf("expected %s, found %s", k, describe(t))
+	}
+	p.pos++
+	return t, nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case IDENT, INT:
+		return fmt.Sprintf("%q", t.Lit)
+	case STRING:
+		return "string literal"
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isTypeStart reports whether the current token can begin a type.
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case KwInt, KwChar, KwVoid, KwFn, KwStruct:
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars: "int", "char **",
+// "struct pkt *", "fn", "void *".
+func (p *Parser) parseType() (Type, error) {
+	var t Type
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		t = TypeInt
+	case KwChar:
+		p.next()
+		t = TypeChar
+	case KwVoid:
+		p.next()
+		t = TypeVoid
+	case KwFn:
+		p.next()
+		t = TypeFn
+	case KwStruct:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		t = &StructType{Name: name.Lit}
+	default:
+		return nil, p.errorf("expected type, found %s", describe(p.cur()))
+	}
+	for p.accept(STAR) {
+		t = &Pointer{Elem: t}
+	}
+	return t, nil
+}
+
+func (p *Parser) parseTopDecl() (Decl, error) {
+	start := p.cur().Pos
+	// struct definition: "struct Name { ... };"
+	if p.cur().Kind == KwStruct && p.peekKind(1) == IDENT && p.peekKind(2) == LBRACE {
+		return p.parseStructDecl()
+	}
+	static := false
+	extern := false
+	for {
+		if p.accept(KwStatic) {
+			static = true
+			continue
+		}
+		if p.accept(KwExtern) {
+			extern = true
+			continue
+		}
+		break
+	}
+	if static && extern {
+		return nil, &ParseError{Pos: start, Msg: "declaration cannot be both static and extern"}
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == LPAREN {
+		return p.parseFuncRest(start, typ, name.Lit, static, extern)
+	}
+	return p.parseVarRest(start, typ, name.Lit, static, extern)
+}
+
+func (p *Parser) parseStructDecl() (Decl, error) {
+	start := p.cur().Pos
+	p.next() // struct
+	name := p.next()
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	var fields []Field
+	seen := map[string]bool{}
+	for !p.accept(RBRACE) {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if seen[fn.Lit] {
+			return nil, &ParseError{Pos: fn.Pos, Msg: fmt.Sprintf("duplicate field %q in struct %s", fn.Lit, name.Lit)}
+		}
+		seen[fn.Lit] = true
+		if p.accept(LBRACK) {
+			n, err := p.expect(INT)
+			if err != nil {
+				return nil, err
+			}
+			length, err := strconv.Atoi(n.Lit)
+			if err != nil || length <= 0 {
+				return nil, &ParseError{Pos: n.Pos, Msg: "invalid array length"}
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			ft = &Array{Elem: ft, Len: length}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Name: fn.Lit, Type: ft})
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &StructDecl{Pos: start, Name: name.Lit, Fields: fields}, nil
+}
+
+func (p *Parser) parseVarRest(start Pos, typ Type, name string, static, extern bool) (Decl, error) {
+	if p.accept(LBRACK) {
+		n, err := p.expect(INT)
+		if err != nil {
+			return nil, err
+		}
+		length, err := strconv.Atoi(n.Lit)
+		if err != nil || length <= 0 {
+			return nil, &ParseError{Pos: n.Pos, Msg: "invalid array length"}
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		typ = &Array{Elem: typ, Len: length}
+	}
+	d := &VarDecl{Pos: start, Name: name, Type: typ, Static: static, Extern: extern}
+	if p.accept(ASSIGN) {
+		if extern {
+			return nil, &ParseError{Pos: start, Msg: fmt.Sprintf("extern variable %q cannot have an initializer", name)}
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseFuncRest(start Pos, result Type, name string, static, extern bool) (Decl, error) {
+	p.next() // (
+	var params []Param
+	if !p.accept(RPAREN) {
+		if p.cur().Kind == KwVoid && p.peekKind(1) == RPAREN {
+			p.next() // void
+			p.next() // )
+		} else {
+			for {
+				pt, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				pn, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				params = append(params, Param{Name: pn.Lit, Type: pt})
+				if p.accept(COMMA) {
+					continue
+				}
+				if _, err := p.expect(RPAREN); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	d := &FuncDecl{Pos: start, Name: name, Params: params, Result: result, Static: static, Extern: extern}
+	if p.accept(SEMI) {
+		// Prototype. Treat a bare prototype as extern (an import) unless
+		// marked static, matching how component C code declares imports.
+		if !static {
+			d.Extern = true
+		}
+		return d, nil
+	}
+	if extern {
+		return nil, &ParseError{Pos: start, Msg: fmt.Sprintf("extern function %q cannot have a body", name)}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	return d, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	start := p.cur().Pos
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: start}
+	for !p.accept(RBRACE) {
+		if p.atEOF() {
+			return nil, &ParseError{Pos: start, Msg: "unterminated block"}
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	start := p.cur().Pos
+	switch p.cur().Kind {
+	case LBRACE:
+		return p.parseBlock()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: start, Cond: cond, Body: body}, nil
+	case KwFor:
+		return p.parseFor()
+	case KwReturn:
+		p.next()
+		s := &ReturnStmt{Pos: start}
+		if p.cur().Kind != SEMI {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: start}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: start}, nil
+	}
+	if p.isTypeStart() {
+		return p.parseDeclStmt()
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: start, X: x}, nil
+}
+
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	start := p.cur().Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(LBRACK) {
+		n, err := p.expect(INT)
+		if err != nil {
+			return nil, err
+		}
+		length, err := strconv.Atoi(n.Lit)
+		if err != nil || length <= 0 {
+			return nil, &ParseError{Pos: n.Pos, Msg: "invalid array length"}
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		typ = &Array{Elem: typ, Len: length}
+	}
+	d := &DeclStmt{Pos: start, Name: name.Lit, Type: typ}
+	if p.accept(ASSIGN) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	start := p.cur().Pos
+	p.next() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: start, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = elseIf
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	start := p.cur().Pos
+	p.next() // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: start}
+	if !p.accept(SEMI) {
+		if p.isTypeStart() {
+			init, err := p.parseDeclStmt() // consumes the ;
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{Pos: x.ExprPos(), X: x}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(SEMI) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(RPAREN) {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[Tok]int{
+	LOR:   1,
+	LAND:  2,
+	PIPE:  3,
+	CARET: 4,
+	AMP:   5,
+	EQ:    6, NE: 6,
+	LT: 7, GT: 7, LE: 7, GE: 7,
+	SHL: 8, SHR: 8,
+	PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+var compoundOps = map[Tok]Tok{
+	ADDEQ: PLUS, SUBEQ: MINUS, MULEQ: STAR, DIVEQ: SLASH, MODEQ: PERCENT,
+	ANDEQ: AMP, OREQ: PIPE, XOREQ: CARET, SHLEQ: SHL, SHREQ: SHR,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	k := p.cur().Kind
+	if k == ASSIGN {
+		pos := p.next().Pos
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(lhs) {
+			return nil, &ParseError{Pos: pos, Msg: "left side of assignment is not assignable"}
+		}
+		return &Assign{Pos: pos, Op: ASSIGN, LHS: lhs, RHS: rhs}, nil
+	}
+	if _, ok := compoundOps[k]; ok {
+		pos := p.next().Pos
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(lhs) {
+			return nil, &ParseError{Pos: pos, Msg: "left side of assignment is not assignable"}
+		}
+		return &Assign{Pos: pos, Op: k, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident, *Index, *Member:
+		return true
+	case *Unary:
+		return x.Op == STAR
+	}
+	return false
+}
+
+func (p *Parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == QUESTION {
+		pos := p.next().Pos
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(COLON); err != nil {
+			return nil, err
+		}
+		els, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{Pos: pos, C: c, Then: then, Else: els}, nil
+	}
+	return c, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.next().Pos
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case MINUS, NOT, TILDE, STAR, AMP:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == AMP && !isAddressable(x) {
+			return nil, &ParseError{Pos: t.Pos, Msg: "cannot take address of expression"}
+		}
+		return &Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	case KwSizeof:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{Pos: t.Pos, Type: typ}, nil
+	}
+	return p.parsePostfix()
+}
+
+func isAddressable(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident, *Index, *Member:
+		return true
+	case *Unary:
+		return x.Op == STAR
+	}
+	return false
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case LPAREN:
+			p.next()
+			var args []Expr
+			if !p.accept(RPAREN) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(COMMA) {
+						continue
+					}
+					if _, err := p.expect(RPAREN); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			x = &Call{Pos: t.Pos, Fun: x, Args: args}
+		case LBRACK:
+			p.next()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			x = &Index{Pos: t.Pos, X: x, I: i}
+		case ARROW:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{Pos: t.Pos, X: x, Name: name.Lit, Arrow: true}
+		case DOT:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{Pos: t.Pos, X: x, Name: name.Lit}
+		case INC, DEC:
+			p.next()
+			if !isLvalue(x) {
+				return nil, &ParseError{Pos: t.Pos, Msg: "operand of ++/-- is not assignable"}
+			}
+			x = &IncDec{Pos: t.Pos, Op: t.Kind, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("invalid integer literal %q", t.Lit)}
+		}
+		return &IntLit{Pos: t.Pos, Val: v}, nil
+	case CHAR:
+		p.next()
+		return &IntLit{Pos: t.Pos, Val: int64(t.Lit[0])}, nil
+	case STRING:
+		p.next()
+		return &StrLit{Pos: t.Pos, Val: t.Lit}, nil
+	case KwNull:
+		p.next()
+		return &IntLit{Pos: t.Pos, Val: 0}, nil
+	case IDENT:
+		p.next()
+		return &Ident{Pos: t.Pos, Name: t.Lit}, nil
+	case LPAREN:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errorf("expected expression, found %s", describe(t))
+}

@@ -1,0 +1,375 @@
+package cmini
+
+// This file provides AST utilities used by Knit's linker and flattener:
+// deep cloning (so one unit's source can be instantiated several times)
+// and identifier rewriting (the AST-level analogue of objcopy symbol
+// renaming).
+
+// CloneFile returns a deep copy of f.
+func CloneFile(f *File) *File {
+	out := &File{Name: f.Name}
+	for _, d := range f.Decls {
+		out.Decls = append(out.Decls, CloneDecl(d))
+	}
+	return out
+}
+
+// CloneDecl returns a deep copy of d.
+func CloneDecl(d Decl) Decl {
+	switch d := d.(type) {
+	case *StructDecl:
+		cp := *d
+		cp.Fields = append([]Field(nil), d.Fields...)
+		return &cp
+	case *VarDecl:
+		cp := *d
+		cp.Init = cloneExpr(d.Init)
+		return &cp
+	case *FuncDecl:
+		cp := *d
+		cp.Params = append([]Param(nil), d.Params...)
+		cp.Body = cloneBlock(d.Body)
+		return &cp
+	}
+	return d
+}
+
+func cloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	out := &Block{Pos: b.Pos}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, cloneStmt(s))
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Block:
+		return cloneBlock(s)
+	case *DeclStmt:
+		cp := *s
+		cp.Init = cloneExpr(s.Init)
+		return &cp
+	case *ExprStmt:
+		cp := *s
+		cp.X = cloneExpr(s.X)
+		return &cp
+	case *IfStmt:
+		cp := *s
+		cp.Cond = cloneExpr(s.Cond)
+		cp.Then = cloneBlock(s.Then)
+		if s.Else != nil {
+			cp.Else = cloneStmt(s.Else)
+		}
+		return &cp
+	case *WhileStmt:
+		cp := *s
+		cp.Cond = cloneExpr(s.Cond)
+		cp.Body = cloneBlock(s.Body)
+		return &cp
+	case *ForStmt:
+		cp := *s
+		if s.Init != nil {
+			cp.Init = cloneStmt(s.Init)
+		}
+		cp.Cond = cloneExpr(s.Cond)
+		cp.Post = cloneExpr(s.Post)
+		cp.Body = cloneBlock(s.Body)
+		return &cp
+	case *ReturnStmt:
+		cp := *s
+		cp.X = cloneExpr(s.X)
+		return &cp
+	case *BreakStmt:
+		cp := *s
+		return &cp
+	case *ContinueStmt:
+		cp := *s
+		return &cp
+	}
+	return s
+}
+
+func cloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *IntLit:
+		cp := *e
+		return &cp
+	case *StrLit:
+		cp := *e
+		return &cp
+	case *Ident:
+		cp := *e
+		return &cp
+	case *Unary:
+		cp := *e
+		cp.X = cloneExpr(e.X)
+		return &cp
+	case *Binary:
+		cp := *e
+		cp.X = cloneExpr(e.X)
+		cp.Y = cloneExpr(e.Y)
+		return &cp
+	case *Assign:
+		cp := *e
+		cp.LHS = cloneExpr(e.LHS)
+		cp.RHS = cloneExpr(e.RHS)
+		return &cp
+	case *IncDec:
+		cp := *e
+		cp.X = cloneExpr(e.X)
+		return &cp
+	case *Call:
+		cp := *e
+		cp.Fun = cloneExpr(e.Fun)
+		cp.Args = nil
+		for _, a := range e.Args {
+			cp.Args = append(cp.Args, cloneExpr(a))
+		}
+		return &cp
+	case *Index:
+		cp := *e
+		cp.X = cloneExpr(e.X)
+		cp.I = cloneExpr(e.I)
+		return &cp
+	case *Member:
+		cp := *e
+		cp.X = cloneExpr(e.X)
+		return &cp
+	case *Cond:
+		cp := *e
+		cp.C = cloneExpr(e.C)
+		cp.Then = cloneExpr(e.Then)
+		cp.Else = cloneExpr(e.Else)
+		return &cp
+	case *SizeofExpr:
+		cp := *e
+		return &cp
+	}
+	return e
+}
+
+// RenameGlobals rewrites, in place, every reference to a global name
+// according to the mapping. It renames top-level definitions whose names
+// appear in the map, and every Ident occurrence that is not shadowed by a
+// local variable or parameter. Struct names and field names are untouched.
+func RenameGlobals(f *File, mapping map[string]string) {
+	if len(mapping) == 0 {
+		return
+	}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			if to, ok := mapping[d.Name]; ok {
+				d.Name = to
+			}
+			renameExpr(d.Init, mapping, map[string]bool{})
+		case *FuncDecl:
+			if to, ok := mapping[d.Name]; ok {
+				d.Name = to
+			}
+			scope := map[string]bool{}
+			for _, p := range d.Params {
+				scope[p.Name] = true
+			}
+			renameBlock(d.Body, mapping, scope)
+		}
+	}
+}
+
+// renameBlock rewrites idents in b. scope holds names shadowed by locals;
+// it is copied per block so shadowing is lexical.
+func renameBlock(b *Block, mapping map[string]string, scope map[string]bool) {
+	if b == nil {
+		return
+	}
+	inner := copyScope(scope)
+	for _, s := range b.Stmts {
+		renameStmt(s, mapping, inner)
+	}
+}
+
+func copyScope(scope map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(scope))
+	for k := range scope {
+		out[k] = true
+	}
+	return out
+}
+
+func renameStmt(s Stmt, mapping map[string]string, scope map[string]bool) {
+	switch s := s.(type) {
+	case *Block:
+		renameBlock(s, mapping, scope)
+	case *DeclStmt:
+		renameExpr(s.Init, mapping, scope)
+		scope[s.Name] = true // shadows the global from here on
+	case *ExprStmt:
+		renameExpr(s.X, mapping, scope)
+	case *IfStmt:
+		renameExpr(s.Cond, mapping, scope)
+		renameBlock(s.Then, mapping, scope)
+		if s.Else != nil {
+			renameStmt(s.Else, mapping, scope)
+		}
+	case *WhileStmt:
+		renameExpr(s.Cond, mapping, scope)
+		renameBlock(s.Body, mapping, scope)
+	case *ForStmt:
+		forScope := copyScope(scope)
+		if s.Init != nil {
+			renameStmt(s.Init, mapping, forScope)
+		}
+		renameExpr(s.Cond, mapping, forScope)
+		renameExpr(s.Post, mapping, forScope)
+		renameBlock(s.Body, mapping, forScope)
+	case *ReturnStmt:
+		renameExpr(s.X, mapping, scope)
+	}
+}
+
+func renameExpr(e Expr, mapping map[string]string, scope map[string]bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *Ident:
+		if scope[e.Name] {
+			return
+		}
+		if to, ok := mapping[e.Name]; ok {
+			e.Name = to
+		}
+	case *Unary:
+		renameExpr(e.X, mapping, scope)
+	case *Binary:
+		renameExpr(e.X, mapping, scope)
+		renameExpr(e.Y, mapping, scope)
+	case *Assign:
+		renameExpr(e.LHS, mapping, scope)
+		renameExpr(e.RHS, mapping, scope)
+	case *IncDec:
+		renameExpr(e.X, mapping, scope)
+	case *Call:
+		renameExpr(e.Fun, mapping, scope)
+		for _, a := range e.Args {
+			renameExpr(a, mapping, scope)
+		}
+	case *Index:
+		renameExpr(e.X, mapping, scope)
+		renameExpr(e.I, mapping, scope)
+	case *Member:
+		renameExpr(e.X, mapping, scope)
+	case *Cond:
+		renameExpr(e.C, mapping, scope)
+		renameExpr(e.Then, mapping, scope)
+		renameExpr(e.Else, mapping, scope)
+	}
+}
+
+// GlobalRefs returns the set of global names referenced from function
+// bodies and initializer expressions of f, excluding references shadowed
+// by locals or parameters. It reports raw references; the caller decides
+// which are imports and which resolve within the file.
+func GlobalRefs(f *File) map[string]bool {
+	refs := map[string]bool{}
+	collect := func(e Expr, scope map[string]bool) {
+		collectRefs(e, scope, refs)
+	}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			collect(d.Init, map[string]bool{})
+		case *FuncDecl:
+			scope := map[string]bool{}
+			for _, p := range d.Params {
+				scope[p.Name] = true
+			}
+			collectBlock(d.Body, scope, refs)
+		}
+	}
+	return refs
+}
+
+func collectBlock(b *Block, scope map[string]bool, refs map[string]bool) {
+	if b == nil {
+		return
+	}
+	inner := copyScope(scope)
+	for _, s := range b.Stmts {
+		collectStmt(s, inner, refs)
+	}
+}
+
+func collectStmt(s Stmt, scope map[string]bool, refs map[string]bool) {
+	switch s := s.(type) {
+	case *Block:
+		collectBlock(s, scope, refs)
+	case *DeclStmt:
+		collectRefs(s.Init, scope, refs)
+		scope[s.Name] = true
+	case *ExprStmt:
+		collectRefs(s.X, scope, refs)
+	case *IfStmt:
+		collectRefs(s.Cond, scope, refs)
+		collectBlock(s.Then, scope, refs)
+		if s.Else != nil {
+			collectStmt(s.Else, scope, refs)
+		}
+	case *WhileStmt:
+		collectRefs(s.Cond, scope, refs)
+		collectBlock(s.Body, scope, refs)
+	case *ForStmt:
+		forScope := copyScope(scope)
+		if s.Init != nil {
+			collectStmt(s.Init, forScope, refs)
+		}
+		collectRefs(s.Cond, forScope, refs)
+		collectRefs(s.Post, forScope, refs)
+		collectBlock(s.Body, forScope, refs)
+	case *ReturnStmt:
+		collectRefs(s.X, scope, refs)
+	}
+}
+
+func collectRefs(e Expr, scope map[string]bool, refs map[string]bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *Ident:
+		if !scope[e.Name] {
+			refs[e.Name] = true
+		}
+	case *Unary:
+		collectRefs(e.X, scope, refs)
+	case *Binary:
+		collectRefs(e.X, scope, refs)
+		collectRefs(e.Y, scope, refs)
+	case *Assign:
+		collectRefs(e.LHS, scope, refs)
+		collectRefs(e.RHS, scope, refs)
+	case *IncDec:
+		collectRefs(e.X, scope, refs)
+	case *Call:
+		collectRefs(e.Fun, scope, refs)
+		for _, a := range e.Args {
+			collectRefs(a, scope, refs)
+		}
+	case *Index:
+		collectRefs(e.X, scope, refs)
+		collectRefs(e.I, scope, refs)
+	case *Member:
+		collectRefs(e.X, scope, refs)
+	case *Cond:
+		collectRefs(e.C, scope, refs)
+		collectRefs(e.Then, scope, refs)
+		collectRefs(e.Else, scope, refs)
+	}
+}

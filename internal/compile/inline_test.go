@@ -1,0 +1,135 @@
+package compile
+
+import (
+	"testing"
+
+	"knit/internal/cmini"
+	"knit/internal/obj"
+)
+
+func compileOpt(t *testing.T, src string, opts Options) *obj.File {
+	t.Helper()
+	f, err := cmini.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Opt = true
+	o, err := Compile(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func callsIn(fn *obj.Func, sym string) int {
+	n := 0
+	for _, in := range fn.Code {
+		if in.Op == obj.OpCall && in.Sym == sym {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDefineBeforeUseRule pins the gcc-2.95 behaviour the flattener's
+// callees-first sort exists for: a callee defined before its caller
+// inlines; one defined after does not.
+func TestDefineBeforeUseRule(t *testing.T) {
+	before := compileOpt(t, `
+static int helper(int x) { return x + 1; }
+int caller(int x) { return helper(x) * 2; }
+`, Options{})
+	if n := callsIn(before.Funcs["caller"], "helper"); n != 0 {
+		t.Errorf("callee-before-caller: %d calls remain, want 0", n)
+	}
+
+	after := compileOpt(t, `
+static int helper2(int x);
+int caller(int x) { return helper2(x) * 2; }
+static int helper2(int x) { return x + 1; }
+`, Options{})
+	if n := callsIn(after.Funcs["caller"], "helper2"); n != 1 {
+		t.Errorf("callee-after-caller: %d calls, want 1 (no inlining)", n)
+	}
+}
+
+func TestInlineLimitRespected(t *testing.T) {
+	src := `
+static int big(int x) {
+    int s = 0;
+    for (int i = 0; i < 10; i++) { s += x * i + i; }
+    for (int i = 0; i < 10; i++) { s -= x - i; }
+    return s;
+}
+int caller(int x) { return big(x); }
+`
+	// A generous limit inlines; a tiny one does not.
+	generous := compileOpt(t, src, Options{InlineLimit: 4096})
+	if n := callsIn(generous.Funcs["caller"], "big"); n != 0 {
+		t.Errorf("generous limit: %d calls remain", n)
+	}
+	tiny := compileOpt(t, src, Options{InlineLimit: 4})
+	if n := callsIn(tiny.Funcs["caller"], "big"); n != 1 {
+		t.Errorf("tiny limit: %d calls, want 1", n)
+	}
+	disabled := compileOpt(t, src, Options{InlineLimit: -1})
+	if n := callsIn(disabled.Funcs["caller"], "big"); n != 1 {
+		t.Errorf("disabled inliner: %d calls, want 1", n)
+	}
+}
+
+func TestGrowthLimitStopsBlowup(t *testing.T) {
+	// A caller with many call sites to a mid-sized callee: the growth
+	// cap must leave some call sites un-inlined rather than exploding.
+	src := `
+static int mid(int x) {
+    int s = x;
+    s += x * 2; s += x * 3; s += x * 5; s += x * 7;
+    s += x * 11; s += x * 13; s += x * 17; s += x * 19;
+    return s;
+}
+int caller(int x) {
+    int s = 0;
+    s += mid(x); s += mid(x + 1); s += mid(x + 2); s += mid(x + 3);
+    s += mid(x + 4); s += mid(x + 5); s += mid(x + 6); s += mid(x + 7);
+    return s;
+}
+`
+	o := compileOpt(t, src, Options{InlineLimit: 4096, GrowthLimit: 60})
+	caller := o.Funcs["caller"]
+	if len(caller.Code) > 200 {
+		t.Errorf("growth limit ignored: caller has %d instrs", len(caller.Code))
+	}
+	if callsIn(caller, "mid") == 0 {
+		t.Error("expected some call sites to survive the growth cap")
+	}
+}
+
+// TestInlinedBehaviorUnchanged: aggressive inlining settings never
+// change results on a branchy, recursive workload.
+func TestInlinedBehaviorUnchanged(t *testing.T) {
+	src := `
+static int gcd(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+static int step_(int x) { return gcd(x * 12, 18) + 1; }
+static int twice(int x) { return step_(step_(x)); }
+int f(int x) { return twice(x) + step_(x); }
+`
+	want := runSrc(t, Options{}, src, "f", 35)
+	for _, limits := range []Options{
+		{Opt: true},
+		{Opt: true, InlineLimit: 1},
+		{Opt: true, InlineLimit: 4096, GrowthLimit: 1 << 16},
+		{Opt: true, DisableCSE: true},
+	} {
+		if got := runSrc(t, limits, src, "f", 35); got != want {
+			t.Errorf("options %+v: f(35) = %d, want %d", limits, got, want)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package compile
+
+import (
+	"fmt"
+
+	"knit/internal/cmini"
+	"knit/internal/obj"
+)
+
+// optimize runs the intra-file optimizer over every function: inlining
+// (within this object file only), then local value numbering (constant
+// folding + common subexpression elimination) and dead-code elimination.
+func optimize(f *obj.File, opts Options) {
+	inlineLimit := opts.InlineLimit
+	if inlineLimit == 0 {
+		inlineLimit = DefaultInlineLimit
+	}
+	growthLimit := opts.GrowthLimit
+	if growthLimit == 0 {
+		growthLimit = DefaultGrowthLimit
+	}
+	pass := func() {
+		for _, fn := range f.Funcs {
+			if !opts.DisableCSE {
+				valueNumber(fn)
+			}
+			deadCode(fn)
+		}
+	}
+	pass()
+	if inlineLimit > 0 {
+		inlineFile(f, inlineLimit, growthLimit)
+	}
+	pass()
+}
+
+// blockLeaders returns a sorted set of basic-block leader indexes.
+func blockLeaders(fn *obj.Func) []bool {
+	leader := make([]bool, len(fn.Code)+1)
+	leader[0] = true
+	for i, in := range fn.Code {
+		switch in.Op {
+		case obj.OpJump:
+			leader[in.Targets[0]] = true
+			leader[i+1] = true
+		case obj.OpBranch:
+			leader[in.Targets[0]] = true
+			leader[in.Targets[1]] = true
+			leader[i+1] = true
+		case obj.OpRet:
+			leader[i+1] = true
+		}
+	}
+	return leader
+}
+
+// vnKey identifies a pure computation for value numbering.
+type vnKey struct {
+	op   obj.Op
+	tok  int
+	a, b int // value numbers of operands
+	imm  int64
+	sym  string
+}
+
+// vnState is the value-numbering state at a program point.
+type vnState struct {
+	regVN    map[obj.Reg]int
+	constVal map[int]int64
+	hasConst map[int]bool
+	exprVN   map[vnKey]int
+	vnReg    map[int]obj.Reg
+	loadVNs  map[vnKey]bool
+}
+
+func newVNState() *vnState {
+	return &vnState{
+		regVN:    map[obj.Reg]int{},
+		constVal: map[int]int64{},
+		hasConst: map[int]bool{},
+		exprVN:   map[vnKey]int{},
+		vnReg:    map[int]obj.Reg{},
+		loadVNs:  map[vnKey]bool{},
+	}
+}
+
+func (s *vnState) clone() *vnState {
+	cp := newVNState()
+	for k, v := range s.regVN {
+		cp.regVN[k] = v
+	}
+	for k, v := range s.constVal {
+		cp.constVal[k] = v
+	}
+	for k, v := range s.hasConst {
+		cp.hasConst[k] = v
+	}
+	for k, v := range s.exprVN {
+		cp.exprVN[k] = v
+	}
+	for k, v := range s.vnReg {
+		cp.vnReg[k] = v
+	}
+	for k, v := range s.loadVNs {
+		cp.loadVNs[k] = v
+	}
+	return cp
+}
+
+// valueNumber performs extended-basic-block value numbering: it folds
+// constant expressions (using the machine's exact ALU semantics) and
+// replaces recomputed pure expressions — including redundant loads — with
+// the register that already holds the value. State flows into a block
+// that has exactly one (earlier) predecessor, so chains of conditionals
+// (a flattened component pipeline) share subexpressions across blocks.
+// This is the pass that, after flattening + inlining, "eliminates
+// redundant reads via common subexpression elimination" (§6).
+func valueNumber(fn *obj.Func) {
+	leaders := blockLeaders(fn)
+	// Identify blocks and predecessor counts.
+	type block struct {
+		start, end int // [start, end)
+	}
+	var blocks []block
+	blockAt := make([]int, len(fn.Code)+1)
+	for i := 0; i < len(fn.Code); {
+		j := i + 1
+		for j < len(fn.Code) && !leaders[j] {
+			j++
+		}
+		for k := i; k < j; k++ {
+			blockAt[k] = len(blocks)
+		}
+		blocks = append(blocks, block{start: i, end: j})
+		i = j
+	}
+	// preds[b] = (count, soleEarlierPred or -1).
+	predCount := make([]int, len(blocks))
+	solePred := make([]int, len(blocks))
+	for b := range solePred {
+		solePred[b] = -1
+	}
+	addEdge := func(from, toInstr int) {
+		if toInstr >= len(fn.Code) {
+			return
+		}
+		tb := blockAt[toInstr]
+		predCount[tb]++
+		solePred[tb] = from
+	}
+	for b, blk := range blocks {
+		last := &fn.Code[blk.end-1]
+		switch last.Op {
+		case obj.OpJump:
+			addEdge(b, last.Targets[0])
+		case obj.OpBranch:
+			addEdge(b, last.Targets[0])
+			addEdge(b, last.Targets[1])
+		case obj.OpRet:
+		default:
+			addEdge(b, blk.end)
+		}
+	}
+	endState := make([]*vnState, len(blocks))
+
+	var nextVN int
+	var st *vnState
+	vnOf := func(r obj.Reg) int {
+		if vn, ok := st.regVN[r]; ok {
+			return vn
+		}
+		nextVN++
+		st.regVN[r] = nextVN
+		return nextVN
+	}
+	newVN := func() int { nextVN++; return nextVN }
+	killLoads := func() {
+		for k := range st.loadVNs {
+			delete(st.exprVN, k)
+			delete(st.loadVNs, k)
+		}
+	}
+	setDst := func(dst obj.Reg, key vnKey, isLoad bool) {
+		vn := newVN()
+		st.regVN[dst] = vn
+		st.exprVN[key] = vn
+		st.vnReg[vn] = dst
+		if isLoad {
+			st.loadVNs[key] = true
+		}
+	}
+	setConst := func(dst obj.Reg, v int64) {
+		vn := newVN()
+		st.regVN[dst] = vn
+		st.constVal[vn] = v
+		st.hasConst[vn] = true
+		st.exprVN[vnKey{op: obj.OpConst, imm: v}] = vn
+		st.vnReg[vn] = dst
+	}
+	// reuse replaces the instruction with a Mov from the register that
+	// already holds the value, if one is live; it reports success.
+	reuse := func(in *obj.Instr, key vnKey) bool {
+		if vn, ok := st.exprVN[key]; ok {
+			if r, live := st.vnReg[vn]; live && r != in.Dst {
+				*in = obj.Instr{Op: obj.OpMov, Dst: in.Dst, A: r, B: obj.NoReg}
+				st.regVN[in.Dst] = vn
+				return true
+			}
+		}
+		return false
+	}
+
+	for b := range blocks {
+		if predCount[b] == 1 && solePred[b] >= 0 && solePred[b] < b && endState[solePred[b]] != nil {
+			st = endState[solePred[b]].clone()
+		} else {
+			st = newVNState()
+		}
+		for i := blocks[b].start; i < blocks[b].end; i++ {
+			in := &fn.Code[i]
+			switch in.Op {
+			case obj.OpConst:
+				key := vnKey{op: obj.OpConst, imm: in.Imm}
+				if reuse(in, key) {
+					continue
+				}
+				setConst(in.Dst, in.Imm)
+			case obj.OpMov:
+				vn := vnOf(in.A)
+				st.regVN[in.Dst] = vn
+			case obj.OpBin:
+				va, vb := vnOf(in.A), vnOf(in.B)
+				if st.hasConst[va] && st.hasConst[vb] {
+					if v, err := obj.EvalBin(cmini.Tok(in.Tok), st.constVal[va], st.constVal[vb]); err == nil {
+						*in = obj.Instr{Op: obj.OpConst, Dst: in.Dst, Imm: v, A: obj.NoReg, B: obj.NoReg}
+						setConst(in.Dst, v)
+						continue
+					}
+				}
+				key := vnKey{op: obj.OpBin, tok: in.Tok, a: va, b: vb}
+				if reuse(in, key) {
+					continue
+				}
+				setDst(in.Dst, key, false)
+			case obj.OpUn:
+				va := vnOf(in.A)
+				if st.hasConst[va] {
+					if v, err := obj.EvalUn(cmini.Tok(in.Tok), st.constVal[va]); err == nil {
+						*in = obj.Instr{Op: obj.OpConst, Dst: in.Dst, Imm: v, A: obj.NoReg, B: obj.NoReg}
+						setConst(in.Dst, v)
+						continue
+					}
+				}
+				key := vnKey{op: obj.OpUn, tok: in.Tok, a: va}
+				if reuse(in, key) {
+					continue
+				}
+				setDst(in.Dst, key, false)
+			case obj.OpAddrGlobal:
+				key := vnKey{op: obj.OpAddrGlobal, sym: in.Sym}
+				if reuse(in, key) {
+					continue
+				}
+				setDst(in.Dst, key, false)
+			case obj.OpAddrLocal, obj.OpAddrString:
+				key := vnKey{op: in.Op, imm: in.Imm}
+				if reuse(in, key) {
+					continue
+				}
+				setDst(in.Dst, key, false)
+			case obj.OpLoad:
+				va := vnOf(in.A)
+				key := vnKey{op: obj.OpLoad, a: va}
+				if reuse(in, key) {
+					continue
+				}
+				setDst(in.Dst, key, true)
+			case obj.OpStore:
+				// Conservative: any store may alias any load.
+				killLoads()
+			case obj.OpCall, obj.OpCallInd:
+				killLoads()
+				st.regVN[in.Dst] = newVN()
+			}
+			// A register redefined above loses stale reverse mappings:
+			// vnReg holds the *latest* register for each vn; if Dst was the
+			// holder of an older vn, drop that mapping.
+			if defines(in.Op) {
+				for vn, r := range st.vnReg {
+					if r == in.Dst && st.regVN[in.Dst] != vn {
+						delete(st.vnReg, vn)
+					}
+				}
+			}
+		}
+		endState[b] = st
+	}
+}
+
+// defines reports whether op writes its Dst register.
+func defines(op obj.Op) bool {
+	switch op {
+	case obj.OpConst, obj.OpMov, obj.OpBin, obj.OpUn, obj.OpLoad,
+		obj.OpAddrGlobal, obj.OpAddrLocal, obj.OpAddrString,
+		obj.OpCall, obj.OpCallInd:
+		return true
+	}
+	return false
+}
+
+// uses returns the registers read by an instruction.
+func uses(in *obj.Instr) []obj.Reg {
+	var out []obj.Reg
+	add := func(r obj.Reg) {
+		if r != obj.NoReg {
+			out = append(out, r)
+		}
+	}
+	switch in.Op {
+	case obj.OpMov, obj.OpUn, obj.OpLoad:
+		add(in.A)
+	case obj.OpBin:
+		add(in.A)
+		add(in.B)
+	case obj.OpStore:
+		add(in.A)
+		add(in.B)
+	case obj.OpBranch:
+		add(in.A)
+	case obj.OpRet:
+		if in.HasVal {
+			add(in.A)
+		}
+	case obj.OpCall:
+	case obj.OpCallInd:
+		add(in.A)
+	}
+	if in.Op == obj.OpCall || in.Op == obj.OpCallInd {
+		out = append(out, in.Args...)
+	}
+	return out
+}
+
+// pure reports whether an instruction can be deleted if its result is
+// unused.
+func pure(op obj.Op) bool {
+	switch op {
+	case obj.OpConst, obj.OpMov, obj.OpBin, obj.OpUn, obj.OpLoad,
+		obj.OpAddrGlobal, obj.OpAddrLocal, obj.OpAddrString:
+		return true
+	}
+	return false
+}
+
+// deadCode removes pure instructions whose results are never read
+// (flow-insensitively) and compacts the code, fixing jump targets.
+func deadCode(fn *obj.Func) {
+	for {
+		reach := reachable(fn)
+		read := make([]bool, fn.NRegs)
+		for i := range fn.Code {
+			if !reach[i] {
+				continue
+			}
+			for _, r := range uses(&fn.Code[i]) {
+				read[r] = true
+			}
+		}
+		// Parameters are implicitly live on entry (their registers are
+		// the calling convention), but an unread parameter costs nothing.
+		keep := make([]bool, len(fn.Code))
+		removed := false
+		for i := range fn.Code {
+			in := &fn.Code[i]
+			if !reach[i] {
+				removed = true
+				continue
+			}
+			if pure(in.Op) && !read[in.Dst] {
+				removed = true
+				continue
+			}
+			if in.Op == obj.OpMov && in.A == in.Dst {
+				removed = true
+				continue
+			}
+			keep[i] = true
+		}
+		if !removed {
+			return
+		}
+		compact(fn, keep)
+	}
+}
+
+// reachable marks instructions reachable from entry by control flow.
+func reachable(fn *obj.Func) []bool {
+	seen := make([]bool, len(fn.Code))
+	var stack []int
+	if len(fn.Code) > 0 {
+		stack = append(stack, 0)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i < len(fn.Code) && !seen[i] {
+			seen[i] = true
+			in := &fn.Code[i]
+			switch in.Op {
+			case obj.OpJump:
+				i = in.Targets[0]
+			case obj.OpBranch:
+				stack = append(stack, in.Targets[1])
+				i = in.Targets[0]
+			case obj.OpRet:
+				i = len(fn.Code)
+			default:
+				i++
+			}
+		}
+	}
+	return seen
+}
+
+// compact rebuilds fn.Code keeping only instructions marked keep,
+// remapping jump and branch targets. Targets that point at removed
+// instructions move to the next kept instruction.
+func compact(fn *obj.Func, keep []bool) {
+	newIndex := make([]int, len(fn.Code)+1)
+	n := 0
+	for i := range fn.Code {
+		newIndex[i] = n
+		if keep[i] {
+			n++
+		}
+	}
+	newIndex[len(fn.Code)] = n
+	out := make([]obj.Instr, 0, n)
+	for i := range fn.Code {
+		if !keep[i] {
+			continue
+		}
+		in := fn.Code[i]
+		switch in.Op {
+		case obj.OpJump:
+			in.Targets[0] = newIndex[in.Targets[0]]
+		case obj.OpBranch:
+			in.Targets[0] = newIndex[in.Targets[0]]
+			in.Targets[1] = newIndex[in.Targets[1]]
+		}
+		out = append(out, in)
+	}
+	fn.Code = out
+}
+
+// Disasm renders a function's IR for debugging and tests.
+func Disasm(fn *obj.Func) string {
+	s := fmt.Sprintf("func %s (args=%d regs=%d frame=%d)\n",
+		fn.Name, fn.NArgs, fn.NRegs, fn.Frame)
+	for i, in := range fn.Code {
+		s += fmt.Sprintf("%4d  %-8s", i, in.Op)
+		switch in.Op {
+		case obj.OpConst:
+			s += fmt.Sprintf("r%d = %d", in.Dst, in.Imm)
+		case obj.OpMov:
+			s += fmt.Sprintf("r%d = r%d", in.Dst, in.A)
+		case obj.OpBin:
+			s += fmt.Sprintf("r%d = r%d %s r%d", in.Dst, in.A, cmini.Tok(in.Tok), in.B)
+		case obj.OpUn:
+			s += fmt.Sprintf("r%d = %s r%d", in.Dst, cmini.Tok(in.Tok), in.A)
+		case obj.OpLoad:
+			s += fmt.Sprintf("r%d = [r%d]", in.Dst, in.A)
+		case obj.OpStore:
+			s += fmt.Sprintf("[r%d] = r%d", in.A, in.B)
+		case obj.OpAddrGlobal:
+			s += fmt.Sprintf("r%d = &%s", in.Dst, in.Sym)
+		case obj.OpAddrLocal:
+			s += fmt.Sprintf("r%d = fp+%d", in.Dst, in.Imm)
+		case obj.OpAddrString:
+			s += fmt.Sprintf("r%d = &str[%d]", in.Dst, in.Imm)
+		case obj.OpCall:
+			s += fmt.Sprintf("r%d = %s%v", in.Dst, in.Sym, in.Args)
+		case obj.OpCallInd:
+			s += fmt.Sprintf("r%d = (*r%d)%v", in.Dst, in.A, in.Args)
+		case obj.OpJump:
+			s += fmt.Sprintf("-> %d", in.Targets[0])
+		case obj.OpBranch:
+			s += fmt.Sprintf("r%d ? %d : %d", in.A, in.Targets[0], in.Targets[1])
+		case obj.OpRet:
+			if in.HasVal {
+				s += fmt.Sprintf("r%d", in.A)
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,298 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knit/internal/cmini"
+	"knit/internal/machine"
+)
+
+func compileSrc(t *testing.T, opts Options, src string) *machine.M {
+	t.Helper()
+	return machineFor(t, opts, src)
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `int f(void) { return 2 * 3 + 4 * 5 - 1; }`
+	f, _ := cmini.Parse("t.c", src)
+	o, err := Compile(f, Options{Opt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := o.Funcs["f"]
+	// After folding + DCE: one OpConst and one OpRet.
+	if len(fn.Code) > 2 {
+		t.Errorf("folded function has %d instrs, want <= 2:\n%s", len(fn.Code), Disasm(fn))
+	}
+}
+
+func TestCSEEliminatesRedundantLoads(t *testing.T) {
+	src := `
+static int g = 7;
+int f(int a) {
+    return g + g + g * a;
+}
+`
+	f, _ := cmini.Parse("t.c", src)
+	o, err := Compile(f, Options{Opt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := o.Funcs["f"]
+	loads := 0
+	for _, in := range fn.Code {
+		if in.Op.String() == "load" {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Errorf("got %d loads of g, want 1:\n%s", loads, Disasm(fn))
+	}
+}
+
+func TestCSEInvalidatedByStore(t *testing.T) {
+	src := `
+static int g = 1;
+int f(void) {
+    int a = g;
+    g = 5;
+    int b = g;
+    return a * 10 + b;
+}
+`
+	both(t, src, "f", 15)
+}
+
+func TestCSEInvalidatedByCall(t *testing.T) {
+	src := `
+static int g = 1;
+static int huge_pad(int x) {
+    // Large enough that the inliner refuses, so the call survives and
+    // must invalidate the cached load of g.
+    int s = 0;
+    s += x; s += x; s += x; s += x; s += x; s += x; s += x; s += x;
+    s += x; s += x; s += x; s += x; s += x; s += x; s += x; s += x;
+    s += x; s += x; s += x; s += x; s += x; s += x; s += x; s += x;
+    s += x; s += x; s += x; s += x; s += x; s += x; s += x; s += x;
+    s += x; s += x; s += x; s += x; s += x; s += x; s += x; s += x;
+    s += x; s += x; s += x; s += x; s += x; s += x; s += x; s += x;
+    g = g + 1;
+    return s;
+}
+int f(void) {
+    int a = g;
+    huge_pad(1);
+    int b = g;
+    return a * 10 + b;
+}
+`
+	both(t, src, "f", 12)
+}
+
+func TestInliningRemovesCalls(t *testing.T) {
+	src := `
+static int add1(int x) { return x + 1; }
+static int add2(int x) { return add1(add1(x)); }
+int f(int x) { return add2(add2(x)); }
+`
+	m := compileSrc(t, Options{Opt: true}, src)
+	v, err := m.Run("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 14 {
+		t.Fatalf("f(10) = %d, want 14", v)
+	}
+	if m.Calls != 0 {
+		t.Errorf("optimized run executed %d calls, want 0 (all inlined)", m.Calls)
+	}
+
+	m2 := compileSrc(t, Options{}, src)
+	if _, err := m2.Run("f", 10); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Calls == 0 {
+		t.Error("unoptimized run should execute calls")
+	}
+	if m2.Cycles <= m.Cycles {
+		t.Errorf("unoptimized (%d cycles) should be slower than optimized (%d)", m2.Cycles, m.Cycles)
+	}
+}
+
+func TestInliningSkipsRecursion(t *testing.T) {
+	src := `
+int fact(int n) {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+`
+	m := compileSrc(t, Options{Opt: true}, src)
+	v, err := m.Run("fact", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 720 {
+		t.Errorf("fact(6) = %d, want 720", v)
+	}
+}
+
+func TestInliningExternStaysCall(t *testing.T) {
+	// Calls to extern (imported) functions cannot be inlined: the
+	// compiler only sees one translation unit — the property Knit's
+	// flattening exploits.
+	src := `
+extern int imported(int x);
+int f(int x) { return imported(x) + imported(x); }
+`
+	f, _ := cmini.Parse("t.c", src)
+	o, err := Compile(f, Options{Opt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for _, in := range o.Funcs["f"].Code {
+		if in.Sym == "imported" {
+			calls++
+		}
+	}
+	if calls != 2 {
+		t.Errorf("got %d calls to imported, want 2", calls)
+	}
+}
+
+func TestInlinedFramesAreDistinct(t *testing.T) {
+	// Each inlined instance gets its own frame slots: arrays must not
+	// overlap when a function is inlined twice.
+	src := `
+static int sumsq(int n) {
+    int a[4];
+    for (int i = 0; i < 4; i++) { a[i] = i * n; }
+    int s = 0;
+    for (int i = 0; i < 4; i++) { s += a[i]; }
+    return s;
+}
+int f(void) { return sumsq(1) * 100 + sumsq(2); }
+`
+	both(t, src, "f", 600+12)
+}
+
+func TestOptimizedFewerCycles(t *testing.T) {
+	src := `
+static int g = 3;
+static int mul(int a, int b) { return a * b; }
+int work(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += mul(g, i) + mul(g, i);
+    }
+    return s;
+}
+`
+	mo := compileSrc(t, Options{Opt: true}, src)
+	vo, err := mo.Run("work", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := compileSrc(t, Options{}, src)
+	vu, err := mu.Run("work", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vo != vu {
+		t.Fatalf("results differ: opt=%d unopt=%d", vo, vu)
+	}
+	if mo.Cycles >= mu.Cycles {
+		t.Errorf("optimized %d cycles >= unoptimized %d", mo.Cycles, mu.Cycles)
+	}
+}
+
+// TestQuickDifferential is the compiler's core property-based test:
+// random expression programs produce identical results with and without
+// the optimizer.
+func TestQuickDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	cfg := &quick.Config{MaxCount: 300}
+	fn := func() bool {
+		e := genDiffExpr(r, 4)
+		src := fmt.Sprintf(`
+static int g1 = 13;
+static int g2 = -7;
+int helper(int x) { return x * 2 + 1; }
+int f(int a, int b) { return %s; }
+`, exprToSrc(e))
+		f, err := cmini.Parse("t.c", src)
+		if err != nil {
+			t.Logf("parse failed: %v\n%s", err, src)
+			return false
+		}
+		run := func(opt bool) (int64, error) {
+			o, err := Compile(f, Options{Opt: opt})
+			if err != nil {
+				return 0, err
+			}
+			img, err := machine.Load(o, machine.DefaultCosts())
+			if err != nil {
+				return 0, err
+			}
+			m := machine.New(img)
+			return m.Run("f", 5, -3)
+		}
+		v1, err1 := run(false)
+		v2, err2 := run(true)
+		if (err1 == nil) != (err2 == nil) {
+			// Both must trap or both succeed (e.g. divide by zero).
+			t.Logf("error mismatch: unopt=%v opt=%v\n%s", err1, err2, src)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if v1 != v2 {
+			t.Logf("value mismatch: unopt=%d opt=%d\n%s", v1, v2, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func genDiffExpr(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%d", r.Intn(40)-20)
+		case 1:
+			return "a"
+		case 2:
+			return "b"
+		case 3:
+			return "g1"
+		default:
+			return "g2"
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%", "<<", ">>", "<", ">", "==",
+		"!=", "&", "|", "^", "&&", "||"}
+	switch r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(-(%s))", genDiffExpr(r, depth-1))
+	case 1:
+		return fmt.Sprintf("(!(%s))", genDiffExpr(r, depth-1))
+	case 2:
+		return fmt.Sprintf("helper(%s)", genDiffExpr(r, depth-1))
+	case 3:
+		return fmt.Sprintf("(%s ? %s : %s)", genDiffExpr(r, depth-1),
+			genDiffExpr(r, depth-1), genDiffExpr(r, depth-1))
+	default:
+		op := ops[r.Intn(len(ops))]
+		return fmt.Sprintf("(%s %s %s)", genDiffExpr(r, depth-1), op,
+			genDiffExpr(r, depth-1))
+	}
+}
+
+func exprToSrc(s string) string { return s }

@@ -1,0 +1,57 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics throws random token soup at the parser: it
+// must always return (possibly an error), never panic — the robustness a
+// configuration language needs when users hand-edit unit files.
+func TestQuickParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pieces := []string{
+		"unit", "bundletype", "flags", "property", "type", "imports",
+		"exports", "depends", "needs", "files", "rename", "to", "link",
+		"initializer", "finalizer", "for", "constraints", "with",
+		"{", "}", "[", "]", "(", ")", ";", ",", ":", ".", "+", "=", "<=",
+		">=", "<", "<-", "X", "Y", "serve_web", `"a.c"`, "Serve", "//c\n",
+		"/*b*/", "\n",
+	}
+	fn := func() bool {
+		var b strings.Builder
+		n := r.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+			b.WriteString(" ")
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("parser panicked on %q: %v", b.String(), p)
+			}
+		}()
+		_, _ = Parse("fuzz.unit", b.String())
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLexerNeverPanics: arbitrary bytes.
+func TestQuickLexerNeverPanics(t *testing.T) {
+	fn := func(data []byte) bool {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("lexer panicked on %q: %v", data, p)
+			}
+		}()
+		_, _ = Parse("fuzz.unit", string(data))
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package lang implements the Knit unit-definition language: bundle
+// types, atomic and compound units, dependency and rename declarations,
+// initializers/finalizers, properties, and constraints — the concrete
+// syntax of the paper's Section 3.3 and Section 4.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tok is a lexical token kind in the unit language.
+type Tok int
+
+// Token kinds.
+const (
+	EOF Tok = iota
+	IDENT
+	STRING
+
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+	LPAREN // (
+	RPAREN // )
+	SEMI   // ;
+	COMMA  // ,
+	COLON  // :
+	DOT    // .
+	PLUS   // +
+	EQ     // =
+	LE     // <=
+	GE     // >=
+	LT     // <
+	LARROW // <-
+
+	// Keywords.
+	KwBundletype
+	KwFlags
+	KwUnit
+	KwImports
+	KwExports
+	KwDepends
+	KwNeeds
+	KwFiles
+	KwWith
+	KwRename
+	KwTo
+	KwInitializer
+	KwFinalizer
+	KwFor
+	KwConstraints
+	KwLink
+	KwProperty
+	KwType
+)
+
+var tokNames = map[Tok]string{
+	EOF: "EOF", IDENT: "identifier", STRING: "string",
+	LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]", LPAREN: "(",
+	RPAREN: ")", SEMI: ";", COMMA: ",", COLON: ":", DOT: ".", PLUS: "+",
+	EQ: "=", LE: "<=", GE: ">=", LT: "<", LARROW: "<-",
+	KwBundletype: "bundletype", KwFlags: "flags", KwUnit: "unit",
+	KwImports: "imports", KwExports: "exports", KwDepends: "depends",
+	KwNeeds: "needs", KwFiles: "files", KwWith: "with", KwRename: "rename",
+	KwTo: "to", KwInitializer: "initializer", KwFinalizer: "finalizer",
+	KwFor: "for", KwConstraints: "constraints", KwLink: "link",
+	KwProperty: "property", KwType: "type",
+}
+
+func (t Tok) String() string {
+	if s, ok := tokNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(t))
+}
+
+var keywords = map[string]Tok{
+	"bundletype": KwBundletype, "flags": KwFlags, "unit": KwUnit,
+	"imports": KwImports, "exports": KwExports, "depends": KwDepends,
+	"needs": KwNeeds, "files": KwFiles, "with": KwWith, "rename": KwRename,
+	"to": KwTo, "initializer": KwInitializer, "finalizer": KwFinalizer,
+	"for": KwFor, "constraints": KwConstraints, "link": KwLink,
+	"property": KwProperty, "type": KwType,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexed token.
+type Token struct {
+	Kind Tok
+	Lit  string
+	Pos  Pos
+}
+
+// Error is a lexical or syntax error in a unit file.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// lex tokenizes a unit file.
+func lex(file, src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	pos := func() Pos { return Pos{File: file, Line: line, Col: col} }
+	adv := func() byte {
+		c := src[i]
+		i++
+		if c == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		return c
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv()
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				adv()
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			p := pos()
+			adv()
+			adv()
+			closed := false
+			for i < len(src) {
+				if src[i] == '*' && i+1 < len(src) && src[i+1] == '/' {
+					adv()
+					adv()
+					closed = true
+					break
+				}
+				adv()
+			}
+			if !closed {
+				return nil, &Error{Pos: p, Msg: "unterminated comment"}
+			}
+		case c == '"':
+			p := pos()
+			adv()
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				ch := adv()
+				if ch == '"' {
+					closed = true
+					break
+				}
+				if ch == '\n' {
+					return nil, &Error{Pos: p, Msg: "newline in string"}
+				}
+				b.WriteByte(ch)
+			}
+			if !closed {
+				return nil, &Error{Pos: p, Msg: "unterminated string"}
+			}
+			toks = append(toks, Token{Kind: STRING, Lit: b.String(), Pos: p})
+		case isIdentStart(c):
+			p := pos()
+			start := i
+			for i < len(src) && isIdentCont(src[i]) {
+				adv()
+			}
+			word := src[start:i]
+			if kw, ok := keywords[word]; ok {
+				toks = append(toks, Token{Kind: kw, Lit: word, Pos: p})
+			} else {
+				toks = append(toks, Token{Kind: IDENT, Lit: word, Pos: p})
+			}
+		default:
+			p := pos()
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "<-":
+				adv()
+				adv()
+				toks = append(toks, Token{Kind: LARROW, Pos: p})
+			case two == "<=":
+				adv()
+				adv()
+				toks = append(toks, Token{Kind: LE, Pos: p})
+			case two == ">=":
+				adv()
+				adv()
+				toks = append(toks, Token{Kind: GE, Pos: p})
+			default:
+				var k Tok
+				switch c {
+				case '{':
+					k = LBRACE
+				case '}':
+					k = RBRACE
+				case '[':
+					k = LBRACK
+				case ']':
+					k = RBRACK
+				case '(':
+					k = LPAREN
+				case ')':
+					k = RPAREN
+				case ';':
+					k = SEMI
+				case ',':
+					k = COMMA
+				case ':':
+					k = COLON
+				case '.':
+					k = DOT
+				case '+':
+					k = PLUS
+				case '=':
+					k = EQ
+				case '<':
+					k = LT
+				default:
+					return nil, &Error{Pos: p, Msg: fmt.Sprintf("unexpected character %q", c)}
+				}
+				adv()
+				toks = append(toks, Token{Kind: k, Pos: p})
+			}
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

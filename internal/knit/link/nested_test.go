@@ -1,0 +1,125 @@
+package link
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNestedCompoundUnits exercises hierarchy: a compound unit linked
+// inside another compound unit ("the units linked together in a compound
+// unit need not be atomic units; they can be compound units as well",
+// §3.1).
+func TestNestedCompoundUnits(t *testing.T) {
+	units := `
+bundletype A = { fa }
+bundletype B = { fb }
+bundletype C = { fc }
+
+unit Leaf = {
+  exports [ a : A ];
+  files { "leaf.c" };
+}
+unit Wrap = {
+  imports [ a : A ];
+  exports [ b : B ];
+  files { "wrap.c" };
+}
+// Inner compound: packages Leaf+Wrap as one reusable component.
+unit Stack = {
+  exports [ b : B ];
+  link {
+    [a] <- Leaf <- [];
+    [b] <- Wrap <- [a];
+  };
+}
+unit Client = {
+  imports [ b : B ];
+  exports [ c : C ];
+  files { "client.c" };
+}
+// Outer compound: links the inner compound like any other unit.
+unit Top = {
+  exports [ c : C ];
+  link {
+    [b] <- Stack <- [];
+    [c] <- Client <- [b];
+  };
+}
+`
+	sources := Sources{
+		"leaf.c":   `int fa(void) { return 7; }`,
+		"wrap.c":   `int fa(void); int fb(void) { return fa() * 2; }`,
+		"client.c": `int fb(void); int fc(void) { return fb() + 1; }`,
+	}
+	p := mustElab(t, units, "Top", sources)
+	if len(p.Instances) != 3 {
+		t.Fatalf("instances = %d, want 3 (compound units leave no instance)", len(p.Instances))
+	}
+	// Client's import resolves through the inner compound to Wrap.
+	var client, wrap *Instance
+	for _, inst := range p.Instances {
+		switch inst.Unit.Name {
+		case "Client":
+			client = inst
+		case "Wrap":
+			wrap = inst
+		}
+	}
+	if client.ImportWires["b"].Provider != wrap {
+		t.Error("client's import should resolve through the nested compound to Wrap")
+	}
+	// Paths reflect the hierarchy for diagnostics.
+	if !strings.Contains(wrap.Path, "Top/Stack#0/Wrap") {
+		t.Errorf("wrap path = %q, want hierarchy Top/Stack#0/Wrap...", wrap.Path)
+	}
+}
+
+// TestNestedCompoundInstantiatedTwice: linking the inner compound twice
+// duplicates its entire subtree.
+func TestNestedCompoundInstantiatedTwice(t *testing.T) {
+	units := `
+bundletype A = { fa }
+bundletype P = { fp }
+
+unit Leaf = {
+  exports [ a : A ];
+  files { "leaf.c" };
+}
+unit Box = {
+  exports [ a : A ];
+  link {
+    [a] <- Leaf <- [];
+  };
+}
+unit Pair = {
+  imports [ x : A, y : A ];
+  exports [ p : P ];
+  files { "pair.c" };
+  rename { x.fa to fa_x; y.fa to fa_y; };
+}
+unit Top = {
+  exports [ p : P ];
+  link {
+    [x] <- Box <- [];
+    [y] <- Box <- [];
+    [p] <- Pair <- [x, y];
+  };
+}
+`
+	sources := Sources{
+		"leaf.c": `static int n = 0; int fa(void) { n++; return n; }`,
+		"pair.c": `int fa_x(void); int fa_y(void); int fp(void) { return fa_x() * 10 + fa_y(); }`,
+	}
+	p := mustElab(t, units, "Top", sources)
+	leaves := 0
+	names := map[string]bool{}
+	for _, inst := range p.Instances {
+		if inst.Unit.Name == "Leaf" {
+			leaves++
+			names[inst.ExportSyms["a"]["fa"]] = true
+		}
+	}
+	if leaves != 2 || len(names) != 2 {
+		t.Errorf("expected 2 distinct Leaf instances, got %d (%d names)", leaves, len(names))
+	}
+}

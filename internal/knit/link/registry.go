@@ -1,0 +1,76 @@
+// Package link elaborates Knit unit definitions into a flat program of
+// atomic-unit instances with explicitly wired symbols — the core of
+// Knit's linking model (paper §2.3 and §3). It supports hierarchical
+// compound units, cyclic wiring among siblings, renaming, interposition,
+// and multiple instantiation of a unit (each instance gets its own copy
+// of code and state, as the real Knit does with a modified objcopy).
+package link
+
+import (
+	"fmt"
+
+	"knit/internal/knit/lang"
+)
+
+// Registry holds all unit-language declarations visible to a build.
+type Registry struct {
+	BundleTypes map[string]*lang.BundleType
+	FlagSets    map[string]*lang.FlagSet
+	Properties  map[string]*lang.Property
+	Units       map[string]*lang.Unit
+}
+
+// NewRegistry builds a registry from parsed unit files, rejecting
+// duplicate names.
+func NewRegistry(files ...*lang.File) (*Registry, error) {
+	r := &Registry{
+		BundleTypes: map[string]*lang.BundleType{},
+		FlagSets:    map[string]*lang.FlagSet{},
+		Properties:  map[string]*lang.Property{},
+		Units:       map[string]*lang.Unit{},
+	}
+	for _, f := range files {
+		for _, bt := range f.BundleTypes {
+			if _, dup := r.BundleTypes[bt.Name]; dup {
+				return nil, &Err{Pos: bt.Pos, Msg: fmt.Sprintf("bundletype %q redefined", bt.Name)}
+			}
+			r.BundleTypes[bt.Name] = bt
+		}
+		for _, fs := range f.FlagSets {
+			if _, dup := r.FlagSets[fs.Name]; dup {
+				return nil, &Err{Pos: fs.Pos, Msg: fmt.Sprintf("flags %q redefined", fs.Name)}
+			}
+			r.FlagSets[fs.Name] = fs
+		}
+		for _, pr := range f.Properties {
+			if _, dup := r.Properties[pr.Name]; dup {
+				return nil, &Err{Pos: pr.Pos, Msg: fmt.Sprintf("property %q redefined", pr.Name)}
+			}
+			r.Properties[pr.Name] = pr
+		}
+		for _, u := range f.Units {
+			if _, dup := r.Units[u.Name]; dup {
+				return nil, &Err{Pos: u.Pos, Msg: fmt.Sprintf("unit %q redefined", u.Name)}
+			}
+			r.Units[u.Name] = u
+		}
+	}
+	return r, nil
+}
+
+// Err is an elaboration error with a unit-file position.
+type Err struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *Err) Error() string {
+	if e.Pos.Line == 0 {
+		return "knit: " + e.Msg
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos lang.Pos, format string, args ...any) error {
+	return &Err{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

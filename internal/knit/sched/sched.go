@@ -1,0 +1,227 @@
+// Package sched computes the automatic initialization and finalization
+// schedule for an elaborated Knit program (paper §3.2).
+//
+// The semantics distinguish two dependency levels, exactly as the paper
+// does for the logging unit:
+//
+//   - "open_log needs stdio" (an *initializer* dependency) means the
+//     providers of stdio must be ready before open_log runs;
+//   - "serveLog needs stdio" (an *export-level* dependency) means stdio
+//     must be ready before anything calls into serveLog — it does not by
+//     itself order the two components' initializers.
+//
+// A bundle is ready when its own initializers have run and every bundle
+// its exports depend on is ready (computed as a transitive closure, so
+// cyclic import graphs are fine). Only cycles among *initializers* are
+// errors, reported with the offending path so the programmer can break
+// them with finer-grained dependencies.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"knit/internal/knit/link"
+)
+
+// node identifies an export bundle of an instance.
+type node struct {
+	inst   *link.Instance
+	bundle string
+}
+
+// Schedule is the computed order of initializer and finalizer calls.
+type Schedule struct {
+	// Inits holds the global (C-level) names of initializer functions in
+	// call order.
+	Inits []string
+	// Fins holds finalizer names in call order (reverse readiness).
+	Fins []string
+}
+
+// CycleError reports an initialization cycle the scheduler cannot break.
+type CycleError struct {
+	Path []string // initializer names along the cycle
+}
+
+func (e *CycleError) Error() string {
+	return "knit: initialization cycle: " + strings.Join(e.Path, " -> ") +
+		" (break it with a finer-grained 'needs' declaration)"
+}
+
+// Compute builds the initialization schedule for a program.
+func Compute(prog *link.Program) (*Schedule, error) {
+	instances := prog.SortedInstances()
+
+	// closure(bundle node) = set of bundle nodes transitively needed by
+	// its exports, following export-level needs across wires. Cycles at
+	// the export level are permitted (the paper: cyclic imports are
+	// common); BFS simply saturates.
+	closure := func(start node) []node {
+		seen := map[node]bool{start: true}
+		out := []node{start}
+		for i := 0; i < len(out); i++ {
+			n := out[i]
+			for _, importLocal := range n.inst.ExportNeeds[n.bundle] {
+				w := n.inst.ImportWires[importLocal]
+				if w == nil || w.Provider == nil {
+					continue
+				}
+				next := node{w.Provider, w.Bundle}
+				if !seen[next] {
+					seen[next] = true
+					out = append(out, next)
+				}
+			}
+		}
+		return out
+	}
+
+	// Initializers attached to each bundle node, in declaration order.
+	initsOf := map[node][]*link.Init{}
+	var allInits []*link.Init
+	initInst := map[*link.Init]*link.Instance{}
+	for _, inst := range instances {
+		for _, ini := range inst.Inits {
+			if ini.Finalizer {
+				continue
+			}
+			n := node{inst, ini.Bundle}
+			initsOf[n] = append(initsOf[n], ini)
+			allInits = append(allInits, ini)
+			initInst[ini] = inst
+		}
+	}
+
+	// Edges: initializer j -> initializer i when i must run first:
+	// j needs import b; every initializer attached to any bundle in
+	// closure(provider(b)) must precede j. An initializer's own bundle's
+	// export-level needs also apply transitively when *other* code calls
+	// into it, which the closure captures via whoever needs it.
+	preds := map[*link.Init][]*link.Init{}
+	for _, inst := range instances {
+		for _, ini := range inst.Inits {
+			if ini.Finalizer {
+				continue
+			}
+			for _, importLocal := range ini.Needs {
+				w := inst.ImportWires[importLocal]
+				if w == nil || w.Provider == nil {
+					continue
+				}
+				for _, dep := range closure(node{w.Provider, w.Bundle}) {
+					for _, other := range initsOf[dep] {
+						if other != ini {
+							preds[ini] = append(preds[ini], other)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	order, err := topoSort(allInits, preds)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{}
+	for _, ini := range order {
+		s.Inits = append(s.Inits, ini.GlobalName)
+	}
+	// Finalizers: pair them with their bundle; run in reverse of the
+	// *initialization* readiness order. Finalizers of bundles whose
+	// initializers ran last run first.
+	finsOf := map[node][]*link.Init{}
+	var finNodes []node
+	for _, inst := range instances {
+		for _, ini := range inst.Inits {
+			if !ini.Finalizer {
+				continue
+			}
+			n := node{inst, ini.Bundle}
+			if len(finsOf[n]) == 0 {
+				finNodes = append(finNodes, n)
+			}
+			finsOf[n] = append(finsOf[n], ini)
+		}
+	}
+	// Rank each bundle node by the position of its last initializer in
+	// the schedule (bundles with no initializer rank first).
+	rank := map[node]int{}
+	for i, ini := range order {
+		n := node{initInst[ini], ini.Bundle}
+		rank[n] = i + 1
+	}
+	sort.SliceStable(finNodes, func(a, b int) bool {
+		return rank[finNodes[a]] > rank[finNodes[b]]
+	})
+	for _, n := range finNodes {
+		for _, fin := range finsOf[n] {
+			s.Fins = append(s.Fins, fin.GlobalName)
+		}
+	}
+	return s, nil
+}
+
+// topoSort orders initializers so every predecessor precedes its
+// dependents, preserving declaration order among unconstrained
+// initializers. A cycle yields a CycleError with the cycle path.
+func topoSort(all []*link.Init, preds map[*link.Init][]*link.Init) ([]*link.Init, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*link.Init]int{}
+	var order []*link.Init
+	var stack []*link.Init
+
+	var visit func(ini *link.Init) *CycleError
+	visit = func(ini *link.Init) *CycleError {
+		switch color[ini] {
+		case black:
+			return nil
+		case gray:
+			// Reconstruct the cycle from the stack.
+			var path []string
+			start := -1
+			for i, s := range stack {
+				if s == ini {
+					start = i
+					break
+				}
+			}
+			if start >= 0 {
+				for _, s := range stack[start:] {
+					path = append(path, s.Func)
+				}
+			}
+			path = append(path, ini.Func)
+			return &CycleError{Path: path}
+		}
+		color[ini] = gray
+		stack = append(stack, ini)
+		for _, p := range preds[ini] {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[ini] = black
+		order = append(order, ini)
+		return nil
+	}
+	for _, ini := range all {
+		if err := visit(ini); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// String renders the schedule for diagnostics.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("init: %s; fini: %s",
+		strings.Join(s.Inits, ", "), strings.Join(s.Fins, ", "))
+}

@@ -1,0 +1,82 @@
+package ldlink
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"knit/internal/cmini"
+	"knit/internal/compile"
+	"knit/internal/machine"
+	"knit/internal/obj"
+)
+
+// TestQuickObjectOrderIrrelevant: for plain object files (no archives)
+// with unique definitions, the link result computes the same values in
+// any command-line order — the property that makes the bag-of-objects
+// model workable at all (and that archives then break, per
+// TestOverrideByOrder).
+func TestQuickObjectOrderIrrelevant(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	fn := func() bool {
+		// A random chain: f0 calls f1 calls ... calls fn-1.
+		n := 2 + r.Intn(5)
+		var objs []*obj.File
+		for i := 0; i < n; i++ {
+			var src strings.Builder
+			if i < n-1 {
+				fmt.Fprintf(&src, "int f%d(int x);\n", i+1)
+				fmt.Fprintf(&src, "int f%d(int x) { return f%d(x + %d) * %d; }\n",
+					i, i+1, 1+r.Intn(5), 1+r.Intn(3))
+			} else {
+				fmt.Fprintf(&src, "int f%d(int x) { return x + %d; }\n", i, r.Intn(9))
+			}
+			f, err := cmini.Parse(fmt.Sprintf("o%d.c", i), src.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := compile.Compile(f, compile.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs = append(objs, o)
+		}
+		runLink := func(order []int) (int64, error) {
+			var items []Item
+			for _, i := range order {
+				items = append(items, Obj(objs[i]))
+			}
+			out, err := Link(items, Options{})
+			if err != nil {
+				return 0, err
+			}
+			img, err := machine.Load(out, machine.DefaultCosts())
+			if err != nil {
+				return 0, err
+			}
+			return machine.New(img).Run("f0", 3)
+		}
+		forward := make([]int, n)
+		for i := range forward {
+			forward[i] = i
+		}
+		v1, err := runLink(forward)
+		if err != nil {
+			t.Logf("forward link failed: %v", err)
+			return false
+		}
+		shuffled := append([]int(nil), forward...)
+		r.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		v2, err := runLink(shuffled)
+		if err != nil {
+			t.Logf("shuffled link failed: %v", err)
+			return false
+		}
+		return v1 == v2
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package machine
+
+import (
+	"fmt"
+
+	"knit/internal/obj"
+)
+
+// This file implements run-time loading of additional object code into a
+// running machine — the machine half of Knit's dynamic linking extension
+// (paper §8). A dynamically loaded module's data is appended to the live
+// memory image, its functions get fresh text addresses, and its
+// references resolve against the base image plus previously loaded
+// modules. Dynamic state is per-machine: Reset drops all loaded modules
+// along with the rest of the run-time state.
+
+// dynState holds a machine's dynamically loaded symbols.
+type dynState struct {
+	funcs      map[string]*obj.Func
+	funcAddr   map[string]int64
+	funcByAddr map[int64]*obj.Func
+	globalAddr map[string]int64
+	textOff    map[string]int64
+	textSize   int64
+}
+
+func newDynState() *dynState {
+	return &dynState{
+		funcs:      map[string]*obj.Func{},
+		funcAddr:   map[string]int64{},
+		funcByAddr: map[int64]*obj.Func{},
+		globalAddr: map[string]int64{},
+		textOff:    map[string]int64{},
+	}
+}
+
+// LoadDynamic links an object file into the running machine. Every data
+// symbol referenced by the module must resolve (image, earlier modules,
+// or the module itself); function references may also be satisfied by
+// builtins at call time, like static calls. Returns an error and loads
+// nothing on failure.
+func (m *M) LoadDynamic(o *obj.File) error {
+	if m.dyn == nil {
+		m.dyn = newDynState()
+	}
+	// Collisions with existing definitions are linker errors.
+	for _, s := range o.Syms {
+		if !s.Defined || s.Local {
+			continue
+		}
+		if m.resolvable(s.Name) {
+			return &LoadError{Msg: fmt.Sprintf("dynamic: symbol %q already defined", s.Name)}
+		}
+	}
+
+	// Stage placements without committing.
+	dataBase := int64(len(m.Mem))
+	addr := dataBase
+	newGlobals := map[string]int64{}
+	var order []string
+	for name := range o.Datas {
+		order = append(order, name)
+	}
+	sortStrings(order)
+	for _, name := range order {
+		newGlobals[name] = addr
+		addr += int64(o.Datas[name].Size)
+	}
+	strAddr := make([]int64, len(o.Strings))
+	for i, s := range o.Strings {
+		strAddr[i] = addr
+		addr += int64(len(s)) + 1
+	}
+	textStart := m.Img.TextSize + m.dyn.textSize
+	newFuncAddr := map[string]int64{}
+	newFuncs := map[string]*obj.Func{}
+	var fnames []string
+	for name := range o.Funcs {
+		fnames = append(fnames, name)
+	}
+	sortStrings(fnames)
+	text := textStart
+	for _, name := range fnames {
+		fn := o.Funcs[name].Clone()
+		// Dynamic string references become absolute addresses now.
+		for i := range fn.Code {
+			if fn.Code[i].Op == obj.OpAddrString {
+				idx := int(fn.Code[i].Imm)
+				if idx < 0 || idx >= len(strAddr) {
+					return &LoadError{Msg: fmt.Sprintf("dynamic: func %s: bad string index %d", name, idx)}
+				}
+				fn.Code[i] = obj.Instr{Op: obj.OpConst, Dst: fn.Code[i].Dst,
+					Imm: strAddr[idx], A: obj.NoReg, B: obj.NoReg}
+			}
+		}
+		newFuncs[name] = fn
+		newFuncAddr[name] = textBase + text
+		m.dyn.textOff[name] = text
+		text += int64(len(fn.Code)*m.Costs.InstrBytes + m.Costs.FuncPad)
+	}
+
+	resolve := func(sym string) (int64, bool) {
+		if a, ok := newGlobals[sym]; ok {
+			return a, true
+		}
+		if a, ok := newFuncAddr[sym]; ok {
+			return a, true
+		}
+		return m.resolveAddr(sym)
+	}
+	// Validate address references before committing.
+	for name, fn := range newFuncs {
+		for i := range fn.Code {
+			if fn.Code[i].Op == obj.OpAddrGlobal {
+				if _, ok := resolve(fn.Code[i].Sym); !ok {
+					return &LoadError{Msg: fmt.Sprintf(
+						"dynamic: func %s: address of unresolved symbol %q", name, fn.Code[i].Sym)}
+				}
+			}
+		}
+	}
+	// Build the appended memory.
+	mem := make([]int64, addr-dataBase)
+	for i, s := range o.Strings {
+		base := strAddr[i] - dataBase
+		for j := 0; j < len(s); j++ {
+			mem[base+int64(j)] = int64(s[j])
+		}
+	}
+	for _, name := range order {
+		d := o.Datas[name]
+		base := newGlobals[name] - dataBase
+		for _, init := range d.Init {
+			switch init.Kind {
+			case obj.InitConst:
+				mem[base+int64(init.Offset)] = init.Val
+			case obj.InitString:
+				if init.Index < 0 || init.Index >= len(strAddr) {
+					return &LoadError{Msg: fmt.Sprintf("dynamic: data %s: bad string index %d", name, init.Index)}
+				}
+				mem[base+int64(init.Offset)] = strAddr[init.Index]
+			case obj.InitSym:
+				a, ok := resolve(init.Sym)
+				if !ok {
+					return &LoadError{Msg: fmt.Sprintf("dynamic: data %s: unresolved symbol %q", name, init.Sym)}
+				}
+				mem[base+int64(init.Offset)] = a
+			}
+		}
+	}
+
+	// Commit.
+	m.Mem = append(m.Mem, mem...)
+	for name, a := range newGlobals {
+		m.dyn.globalAddr[name] = a
+	}
+	for name, fn := range newFuncs {
+		m.dyn.funcs[name] = fn
+		a := newFuncAddr[name]
+		m.dyn.funcAddr[name] = a
+		m.dyn.funcByAddr[a] = fn
+	}
+	m.dyn.textSize = text - m.Img.TextSize
+	return nil
+}
+
+// resolvable reports whether a symbol already has a definition visible
+// to this machine.
+func (m *M) resolvable(sym string) bool {
+	if _, ok := m.Img.GlobalAddr[sym]; ok {
+		return true
+	}
+	if _, ok := m.Img.FuncAddr[sym]; ok {
+		return true
+	}
+	if m.dyn == nil {
+		return false
+	}
+	if _, ok := m.dyn.globalAddr[sym]; ok {
+		return true
+	}
+	_, ok := m.dyn.funcAddr[sym]
+	return ok
+}
+
+// resolveAddr resolves a symbol to an address across the image and
+// loaded modules.
+func (m *M) resolveAddr(sym string) (int64, bool) {
+	if a, ok := m.Img.GlobalAddr[sym]; ok {
+		return a, true
+	}
+	if a, ok := m.Img.FuncAddr[sym]; ok {
+		return a, true
+	}
+	if m.dyn != nil {
+		if a, ok := m.dyn.globalAddr[sym]; ok {
+			return a, true
+		}
+		if a, ok := m.dyn.funcAddr[sym]; ok {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// dynFunc looks up a dynamically loaded function by name.
+func (m *M) dynFunc(sym string) (*obj.Func, bool) {
+	if m.dyn == nil {
+		return nil, false
+	}
+	fn, ok := m.dyn.funcs[sym]
+	return fn, ok
+}
+
+// dynFuncByAddr looks up a dynamically loaded function by text address.
+func (m *M) dynFuncByAddr(addr int64) (*obj.Func, bool) {
+	if m.dyn == nil {
+		return nil, false
+	}
+	fn, ok := m.dyn.funcByAddr[addr]
+	return fn, ok
+}

@@ -1,0 +1,516 @@
+// Package machine executes linked object files on a simulated CPU with a
+// deterministic cost model: per-instruction cycles, function-call and
+// indirect-call overheads, and a direct-mapped instruction cache whose
+// miss stalls are accounted separately (the paper's "instr. fetch stall
+// cycles" column). It stands in for the 200 MHz Pentium Pro testbed of
+// the paper's evaluation; absolute numbers differ, but relative costs —
+// call overhead, indirection penalties, I-cache behaviour — reproduce the
+// effects the paper measures.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"knit/internal/cmini"
+	"knit/internal/obj"
+)
+
+// Costs is the machine's cost model, in cycles.
+type Costs struct {
+	Instr      int64 // every executed instruction
+	CallBase   int64 // extra cycles per direct call (call+prologue+ret)
+	CallPerArg int64 // extra cycles per argument pushed
+	Indirect   int64 // extra cycles per indirect call, on top of CallBase
+	Builtin    int64 // cycles charged for a builtin (device) call
+	ICacheMiss int64 // stall cycles per non-sequential instruction-cache miss
+	// ICacheSeqMiss is the (small) stall charged when the missing line
+	// directly follows the previously fetched line: sequential prefetch
+	// hides most of the latency, so straight-line code (what flattening
+	// produces) fetches cheaply while scattered call targets pay full
+	// misses — the effect behind Table 1's i-fetch stall column.
+	ICacheSeqMiss int64
+	ICacheBytes   int // total I-cache size in bytes (0 disables the cache)
+	ICacheLine    int // line size in bytes
+	InstrBytes    int // encoded size of one instruction (text accounting)
+	FuncPad       int // per-function text padding/alignment in bytes
+}
+
+// DefaultCosts resemble a late-90s in-order x86 pipeline closely enough
+// to reproduce the paper's relative results.
+func DefaultCosts() Costs {
+	return Costs{
+		Instr:         1,
+		CallBase:      6,
+		CallPerArg:    2,
+		Indirect:      4,
+		Builtin:       8,
+		ICacheMiss:    12,
+		ICacheSeqMiss: 2,
+		ICacheBytes:   8 * 1024,
+		ICacheLine:    32,
+		InstrBytes:    4,
+		FuncPad:       16,
+	}
+}
+
+// Memory layout constants.
+const (
+	nullGuard  = 16             // addresses [0,16) trap, catching NULL derefs
+	textBase   = int64(1) << 40 // function addresses live far above data
+	stackWords = 1 << 16
+)
+
+// Image is a loaded program: globals placed, strings interned, function
+// addresses assigned.
+type Image struct {
+	File       *obj.File
+	Entry      map[string]*obj.Func
+	GlobalAddr map[string]int64
+	FuncAddr   map[string]int64
+	funcByAddr map[int64]*obj.Func
+	strAddr    []int64
+	initMem    []int64
+	textOff    map[string]int64 // function name -> text offset in bytes
+	TextSize   int64
+	DataWords  int
+	costs      Costs
+}
+
+// LoadError reports a problem resolving an object file into an image.
+type LoadError struct{ Msg string }
+
+func (e *LoadError) Error() string { return "machine: " + e.Msg }
+
+// Load places the merged object file in memory. Every data symbol
+// referenced by code or data initializers must be defined in f; function
+// symbols may be left undefined if the runtime provides them as builtins
+// (checked at call time).
+func Load(f *obj.File, costs Costs) (*Image, error) {
+	img := &Image{
+		File:       f,
+		Entry:      f.Funcs,
+		GlobalAddr: map[string]int64{},
+		FuncAddr:   map[string]int64{},
+		funcByAddr: map[int64]*obj.Func{},
+		textOff:    map[string]int64{},
+		costs:      costs,
+	}
+	// Data placement: globals first, then string literals.
+	addr := int64(nullGuard)
+	var order []string
+	for name := range f.Datas {
+		order = append(order, name)
+	}
+	// Deterministic placement.
+	sortStrings(order)
+	for _, name := range order {
+		d := f.Datas[name]
+		img.GlobalAddr[name] = addr
+		addr += int64(d.Size)
+	}
+	strAddr := make([]int64, len(f.Strings))
+	for i, s := range f.Strings {
+		strAddr[i] = addr
+		addr += int64(len(s)) + 1
+	}
+	img.strAddr = strAddr
+	img.DataWords = int(addr)
+	img.initMem = make([]int64, addr)
+	for i, s := range f.Strings {
+		base := strAddr[i]
+		for j := 0; j < len(s); j++ {
+			img.initMem[base+int64(j)] = int64(s[j])
+		}
+	}
+	// Text placement, deterministic by name.
+	var fnames []string
+	for name := range f.Funcs {
+		fnames = append(fnames, name)
+	}
+	sortStrings(fnames)
+	text := int64(0)
+	for _, name := range fnames {
+		fn := f.Funcs[name]
+		img.textOff[name] = text
+		a := textBase + text
+		img.FuncAddr[name] = a
+		img.funcByAddr[a] = fn
+		text += int64(len(fn.Code)*costs.InstrBytes + costs.FuncPad)
+	}
+	img.TextSize = text
+	// Apply data initializers now that addresses exist.
+	resolve := func(sym string) (int64, bool) {
+		if a, ok := img.GlobalAddr[sym]; ok {
+			return a, true
+		}
+		if a, ok := img.FuncAddr[sym]; ok {
+			return a, true
+		}
+		return 0, false
+	}
+	for _, name := range order {
+		d := f.Datas[name]
+		base := img.GlobalAddr[name]
+		for _, init := range d.Init {
+			switch init.Kind {
+			case obj.InitConst:
+				img.initMem[base+int64(init.Offset)] = init.Val
+			case obj.InitString:
+				if init.Index < 0 || init.Index >= len(strAddr) {
+					return nil, &LoadError{Msg: fmt.Sprintf("data %s: bad string index %d", name, init.Index)}
+				}
+				img.initMem[base+int64(init.Offset)] = strAddr[init.Index]
+			case obj.InitSym:
+				a, ok := resolve(init.Sym)
+				if !ok {
+					return nil, &LoadError{Msg: fmt.Sprintf("data %s: unresolved symbol %q", name, init.Sym)}
+				}
+				img.initMem[base+int64(init.Offset)] = a
+			}
+		}
+	}
+	// Every OpAddrGlobal operand must resolve.
+	for fname, fn := range f.Funcs {
+		for i := range fn.Code {
+			if fn.Code[i].Op == obj.OpAddrGlobal {
+				if _, ok := resolve(fn.Code[i].Sym); !ok {
+					return nil, &LoadError{Msg: fmt.Sprintf(
+						"func %s: address of unresolved symbol %q", fname, fn.Code[i].Sym)}
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Builtin is a host-provided function callable from simulated code, used
+// to model devices (console, NIC) and measurement hooks.
+type Builtin func(m *M, args []int64) (int64, error)
+
+// Trap is a runtime error in simulated code.
+type Trap struct {
+	Msg  string
+	Func string
+	PC   int
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("machine trap in %s at pc=%d: %s", t.Func, t.PC, t.Msg)
+}
+
+// M is a running machine instance.
+type M struct {
+	Img      *Image
+	Mem      []int64
+	Costs    Costs
+	Builtins map[string]Builtin
+
+	// Statistics.
+	Cycles     int64 // total cycles including stalls
+	Stalls     int64 // instruction-fetch stall cycles (subset of Cycles)
+	Executed   int64 // instructions executed
+	Calls      int64 // direct calls executed
+	IndCalls   int64 // indirect calls executed
+	BuiltinCnt int64
+	ICacheRefs int64
+	ICacheMiss int64
+
+	// StepLimit aborts runaway programs (0 means a large default).
+	StepLimit int64
+
+	sp         int64
+	stackLimit int64   // frames may not grow past this (dynamic data follows)
+	icache     []int64 // tag per line; -1 empty
+	prevLine   int64
+	depth      int
+	dyn        *dynState // dynamically loaded modules (nil until used)
+}
+
+// MaxCallDepth bounds simulated recursion.
+const MaxCallDepth = 256
+
+// New creates a machine for a loaded image.
+func New(img *Image) *M {
+	m := &M{
+		Img:       img,
+		Costs:     img.costs,
+		Builtins:  map[string]Builtin{},
+		StepLimit: 1 << 32,
+	}
+	m.Reset()
+	return m
+}
+
+// Reset restores memory and statistics to the initial image state.
+func (m *M) Reset() {
+	m.Mem = make([]int64, int64(m.Img.DataWords)+stackWords)
+	copy(m.Mem, m.Img.initMem)
+	m.sp = int64(m.Img.DataWords)
+	m.stackLimit = int64(len(m.Mem))
+	m.Cycles, m.Stalls, m.Executed = 0, 0, 0
+	m.Calls, m.IndCalls, m.BuiltinCnt = 0, 0, 0
+	m.ICacheRefs, m.ICacheMiss = 0, 0
+	if m.Costs.ICacheBytes > 0 && m.Costs.ICacheLine > 0 {
+		m.icache = make([]int64, m.Costs.ICacheBytes/m.Costs.ICacheLine)
+		for i := range m.icache {
+			m.icache[i] = -1
+		}
+	}
+	m.prevLine = -100
+	m.dyn = nil // dynamic modules do not survive a reset
+	m.depth = 0
+}
+
+// RegisterBuiltin installs a host function under the given symbol name.
+func (m *M) RegisterBuiltin(name string, fn Builtin) { m.Builtins[name] = fn }
+
+// Run calls the named function with the given arguments and returns its
+// result.
+func (m *M) Run(entry string, args ...int64) (int64, error) {
+	fn, ok := m.Img.Entry[entry]
+	if !ok {
+		fn, ok = m.dynFunc(entry)
+	}
+	if !ok {
+		return 0, &LoadError{Msg: fmt.Sprintf("entry function %q not defined", entry)}
+	}
+	return m.call(fn, args)
+}
+
+// fetch models the instruction fetch of one instruction at the given
+// text byte offset.
+func (m *M) fetch(textOff int64) {
+	if m.icache == nil {
+		return
+	}
+	m.ICacheRefs++
+	line := textOff / int64(m.Costs.ICacheLine)
+	idx := line % int64(len(m.icache))
+	if m.icache[idx] != line {
+		m.icache[idx] = line
+		m.ICacheMiss++
+		penalty := m.Costs.ICacheMiss
+		if line == m.prevLine+1 {
+			penalty = m.Costs.ICacheSeqMiss
+		}
+		m.Stalls += penalty
+		m.Cycles += penalty
+	}
+	m.prevLine = line
+}
+
+func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
+	if m.depth >= MaxCallDepth {
+		return 0, &Trap{Msg: "call stack overflow", Func: fn.Name}
+	}
+	if len(args) != fn.NArgs {
+		return 0, &Trap{Msg: fmt.Sprintf("called with %d args, want %d", len(args), fn.NArgs), Func: fn.Name}
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+
+	regs := make([]int64, fn.NRegs)
+	copy(regs, args)
+	fp := m.sp
+	if fp+int64(fn.Frame) > m.stackLimit {
+		return 0, &Trap{Msg: "simulated stack overflow", Func: fn.Name}
+	}
+	// Frame memory must start zeroed for deterministic behaviour.
+	for i := int64(0); i < int64(fn.Frame); i++ {
+		m.Mem[fp+i] = 0
+	}
+	m.sp = fp + int64(fn.Frame)
+	defer func() { m.sp = fp }()
+
+	textOff := m.Img.textOff[fn.Name]
+	if dfn, ok := m.dynFunc(fn.Name); ok && dfn == fn {
+		textOff = m.dyn.textOff[fn.Name]
+	}
+	ib := int64(m.Costs.InstrBytes)
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(fn.Code) {
+			return 0, &Trap{Msg: "pc out of range", Func: fn.Name, PC: pc}
+		}
+		if m.Executed >= m.StepLimit {
+			return 0, &Trap{Msg: "step limit exceeded", Func: fn.Name, PC: pc}
+		}
+		in := &fn.Code[pc]
+		m.Executed++
+		m.Cycles += m.Costs.Instr
+		m.fetch(textOff + int64(pc)*ib)
+
+		switch in.Op {
+		case obj.OpConst:
+			regs[in.Dst] = in.Imm
+		case obj.OpMov:
+			regs[in.Dst] = regs[in.A]
+		case obj.OpBin:
+			v, err := obj.EvalBin(cmini.Tok(in.Tok), regs[in.A], regs[in.B])
+			if err != nil {
+				return 0, &Trap{Msg: err.Error(), Func: fn.Name, PC: pc}
+			}
+			regs[in.Dst] = v
+		case obj.OpUn:
+			v, err := obj.EvalUn(cmini.Tok(in.Tok), regs[in.A])
+			if err != nil {
+				return 0, &Trap{Msg: err.Error(), Func: fn.Name, PC: pc}
+			}
+			regs[in.Dst] = v
+		case obj.OpLoad:
+			v, err := m.load(regs[in.A], fn, pc)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case obj.OpStore:
+			if err := m.store(regs[in.A], regs[in.B], fn, pc); err != nil {
+				return 0, err
+			}
+		case obj.OpAddrGlobal:
+			if a, ok := m.resolveAddr(in.Sym); ok {
+				regs[in.Dst] = a
+			} else {
+				return 0, &Trap{Msg: "unresolved symbol " + in.Sym, Func: fn.Name, PC: pc}
+			}
+		case obj.OpAddrLocal:
+			regs[in.Dst] = fp + in.Imm
+		case obj.OpAddrString:
+			// String addresses are data addresses computed at load time;
+			// re-derive via the preloaded image: strings live after
+			// globals. Precomputed per-image table:
+			a, err := m.stringAddr(int(in.Imm))
+			if err != nil {
+				return 0, &Trap{Msg: err.Error(), Func: fn.Name, PC: pc}
+			}
+			regs[in.Dst] = a
+		case obj.OpCall:
+			v, err := m.dispatch(in.Sym, regs, in.Args, fn, pc)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case obj.OpCallInd:
+			target := regs[in.A]
+			callee, ok := m.Img.funcByAddr[target]
+			if !ok {
+				callee, ok = m.dynFuncByAddr(target)
+			}
+			if !ok {
+				return 0, &Trap{Msg: fmt.Sprintf("indirect call to non-function address %#x", target), Func: fn.Name, PC: pc}
+			}
+			m.IndCalls++
+			m.Cycles += m.Costs.CallBase + m.Costs.Indirect +
+				m.Costs.CallPerArg*int64(len(in.Args))
+			argv := make([]int64, len(in.Args))
+			for i, r := range in.Args {
+				argv[i] = regs[r]
+			}
+			v, err := m.call(callee, argv)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case obj.OpJump:
+			pc = in.Targets[0]
+			continue
+		case obj.OpBranch:
+			if regs[in.A] != 0 {
+				pc = in.Targets[0]
+			} else {
+				pc = in.Targets[1]
+			}
+			continue
+		case obj.OpRet:
+			if in.HasVal {
+				return regs[in.A], nil
+			}
+			return 0, nil
+		default:
+			return 0, &Trap{Msg: "bad opcode", Func: fn.Name, PC: pc}
+		}
+		pc++
+	}
+}
+
+// dispatch performs a direct call: to a defined function, or to a
+// registered builtin when the symbol has no definition.
+func (m *M) dispatch(sym string, regs []int64, argRegs []obj.Reg, fn *obj.Func, pc int) (int64, error) {
+	argv := make([]int64, len(argRegs))
+	for i, r := range argRegs {
+		argv[i] = regs[r]
+	}
+	if callee, ok := m.Img.Entry[sym]; ok {
+		m.Calls++
+		m.Cycles += m.Costs.CallBase + m.Costs.CallPerArg*int64(len(argv))
+		return m.call(callee, argv)
+	}
+	if callee, ok := m.dynFunc(sym); ok {
+		m.Calls++
+		m.Cycles += m.Costs.CallBase + m.Costs.CallPerArg*int64(len(argv))
+		return m.call(callee, argv)
+	}
+	if b, ok := m.Builtins[sym]; ok {
+		m.BuiltinCnt++
+		m.Cycles += m.Costs.Builtin
+		return b(m, argv)
+	}
+	return 0, &Trap{Msg: "call to undefined function " + sym, Func: fn.Name, PC: pc}
+}
+
+func (m *M) load(addr int64, fn *obj.Func, pc int) (int64, error) {
+	if addr < nullGuard || addr >= int64(len(m.Mem)) {
+		return 0, &Trap{Msg: fmt.Sprintf("load from invalid address %d", addr), Func: fn.Name, PC: pc}
+	}
+	return m.Mem[addr], nil
+}
+
+func (m *M) store(addr, val int64, fn *obj.Func, pc int) error {
+	if addr < nullGuard || addr >= int64(len(m.Mem)) {
+		return &Trap{Msg: fmt.Sprintf("store to invalid address %d", addr), Func: fn.Name, PC: pc}
+	}
+	m.Mem[addr] = val
+	return nil
+}
+
+// stringAddr returns the data address of string literal i.
+func (m *M) stringAddr(i int) (int64, error) {
+	if i < 0 || i >= len(m.Img.strAddr) {
+		return 0, errors.New("bad string literal index")
+	}
+	return m.Img.strAddr[i], nil
+}
+
+// ReadCString reads a NUL-terminated string from simulated memory.
+func (m *M) ReadCString(addr int64) (string, error) {
+	var b []byte
+	for {
+		if addr < nullGuard || addr >= int64(len(m.Mem)) {
+			return "", fmt.Errorf("machine: string read out of range at %d", addr)
+		}
+		c := m.Mem[addr]
+		if c == 0 {
+			return string(b), nil
+		}
+		b = append(b, byte(c))
+		addr++
+	}
+}
+
+// WriteWords copies words into simulated memory.
+func (m *M) WriteWords(addr int64, words []int64) error {
+	if addr < nullGuard || addr+int64(len(words)) > int64(len(m.Mem)) {
+		return fmt.Errorf("machine: write out of range at %d", addr)
+	}
+	copy(m.Mem[addr:], words)
+	return nil
+}

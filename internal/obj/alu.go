@@ -1,0 +1,79 @@
+package obj
+
+import (
+	"errors"
+	"knit/internal/cmini"
+)
+
+// ErrDivideByZero is reported by EvalBin for /0 and %0; the compiler's
+// constant folder refuses to fold such expressions and the machine traps.
+var ErrDivideByZero = errors.New("divide by zero")
+
+// EvalBin evaluates a binary ALU operation with the exact semantics the
+// simulated machine uses: 64-bit two's-complement arithmetic, shift
+// counts masked to 6 bits, comparisons yielding 0 or 1. The compiler's
+// constant folder calls the same function so folding can never change
+// program behaviour.
+func EvalBin(op cmini.Tok, a, b int64) (int64, error) {
+	switch op {
+	case cmini.PLUS:
+		return a + b, nil
+	case cmini.MINUS:
+		return a - b, nil
+	case cmini.STAR:
+		return a * b, nil
+	case cmini.SLASH:
+		if b == 0 {
+			return 0, ErrDivideByZero
+		}
+		return a / b, nil
+	case cmini.PERCENT:
+		if b == 0 {
+			return 0, ErrDivideByZero
+		}
+		return a % b, nil
+	case cmini.SHL:
+		return a << (uint64(b) & 63), nil
+	case cmini.SHR:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	case cmini.AMP:
+		return a & b, nil
+	case cmini.PIPE:
+		return a | b, nil
+	case cmini.CARET:
+		return a ^ b, nil
+	case cmini.LT:
+		return b2i(a < b), nil
+	case cmini.GT:
+		return b2i(a > b), nil
+	case cmini.LE:
+		return b2i(a <= b), nil
+	case cmini.GE:
+		return b2i(a >= b), nil
+	case cmini.EQ:
+		return b2i(a == b), nil
+	case cmini.NE:
+		return b2i(a != b), nil
+	}
+	return 0, errors.New("obj: unknown binary op " + op.String())
+}
+
+// EvalUn evaluates a unary ALU operation; see EvalBin.
+func EvalUn(op cmini.Tok, a int64) (int64, error) {
+	switch op {
+	case cmini.MINUS:
+		return -a, nil
+	case cmini.NOT:
+		return b2i(a == 0), nil
+	case cmini.TILDE:
+		return ^a, nil
+	}
+	return 0, errors.New("obj: unknown unary op " + op.String())
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

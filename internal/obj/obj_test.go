@@ -1,0 +1,189 @@
+package obj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knit/internal/cmini"
+)
+
+func TestSymbolTable(t *testing.T) {
+	f := NewFile("a.o")
+	f.AddSym(&Symbol{Name: "serve_web", Kind: SymFunc}) // undefined
+	f.AddSym(&Symbol{Name: "serve_web", Kind: SymFunc, Defined: true})
+	if s := f.Sym("serve_web"); s == nil || !s.Defined {
+		t.Error("defined symbol should replace undefined entry")
+	}
+	f.AddSym(&Symbol{Name: "helper", Kind: SymFunc, Defined: true, Local: true})
+	f.AddSym(&Symbol{Name: "fopen", Kind: SymFunc})
+	exp := f.Exports()
+	if len(exp) != 1 || exp[0] != "serve_web" {
+		t.Errorf("Exports = %v", exp)
+	}
+	imp := f.Imports()
+	if len(imp) != 1 || imp[0] != "fopen" {
+		t.Errorf("Imports = %v", imp)
+	}
+}
+
+func TestRenameRewritesEverything(t *testing.T) {
+	f := NewFile("log.o")
+	f.AddSym(&Symbol{Name: "serve_web", Kind: SymFunc, Defined: true})
+	f.AddSym(&Symbol{Name: "serve_unlogged", Kind: SymFunc})
+	f.Funcs["serve_web"] = &Func{Name: "serve_web", Code: []Instr{
+		{Op: OpCall, Sym: "serve_unlogged"},
+		{Op: OpAddrGlobal, Sym: "log_state"},
+		{Op: OpRet},
+	}}
+	f.Datas["log_state"] = &Data{Name: "log_state", Size: 1,
+		Init: []DataInit{{Kind: InitSym, Sym: "serve_web"}}}
+	f.AddSym(&Symbol{Name: "log_state", Kind: SymData, Defined: true, Local: true})
+
+	Rename(f, map[string]string{
+		"serve_web":      "serve_logged",
+		"serve_unlogged": "real_serve_web",
+	})
+	if f.Sym("serve_web") != nil {
+		t.Error("old name still in symbol table")
+	}
+	fn := f.Funcs["serve_logged"]
+	if fn == nil {
+		t.Fatal("function not renamed in Funcs map")
+	}
+	if fn.Code[0].Sym != "real_serve_web" {
+		t.Errorf("call target = %q", fn.Code[0].Sym)
+	}
+	if fn.Code[1].Sym != "log_state" {
+		t.Errorf("unrelated symbol changed: %q", fn.Code[1].Sym)
+	}
+	if f.Datas["log_state"].Init[0].Sym != "serve_logged" {
+		t.Errorf("data init not renamed: %q", f.Datas["log_state"].Init[0].Sym)
+	}
+}
+
+func TestAppendRemapsStrings(t *testing.T) {
+	a := NewFile("a.o")
+	a.Strings = []string{"alpha"}
+	a.Funcs["fa"] = &Func{Name: "fa", Code: []Instr{{Op: OpAddrString, Imm: 0}}}
+	a.AddSym(&Symbol{Name: "fa", Kind: SymFunc, Defined: true})
+	b := NewFile("b.o")
+	b.Strings = []string{"beta"}
+	b.Funcs["fb"] = &Func{Name: "fb", Code: []Instr{{Op: OpAddrString, Imm: 0}}}
+	b.AddSym(&Symbol{Name: "fb", Kind: SymFunc, Defined: true})
+
+	m := NewFile("merged")
+	Append(m, a)
+	Append(m, b)
+	if len(m.Strings) != 2 {
+		t.Fatalf("strings = %v", m.Strings)
+	}
+	if m.Funcs["fb"].Code[0].Imm != 1 {
+		t.Errorf("fb string index = %d, want 1", m.Funcs["fb"].Code[0].Imm)
+	}
+	if m.Funcs["fa"].Code[0].Imm != 0 {
+		t.Errorf("fa string index = %d, want 0", m.Funcs["fa"].Code[0].Imm)
+	}
+}
+
+func TestAppendRenamesCollidingLocals(t *testing.T) {
+	mk := func(file string, v int64) *File {
+		f := NewFile(file)
+		f.AddSym(&Symbol{Name: "state", Kind: SymData, Defined: true, Local: true})
+		f.Datas["state"] = &Data{Name: "state", Size: 1, Local: true,
+			Init: []DataInit{{Kind: InitConst, Val: v}}}
+		f.AddSym(&Symbol{Name: "get_" + file, Kind: SymFunc, Defined: true})
+		f.Funcs["get_"+file] = &Func{Name: "get_" + file, Code: []Instr{
+			{Op: OpAddrGlobal, Sym: "state"},
+			{Op: OpRet},
+		}}
+		return f
+	}
+	m := NewFile("merged")
+	Append(m, mk("a", 1))
+	Append(m, mk("b", 2))
+	if len(m.Datas) != 2 {
+		t.Fatalf("datas = %d, want 2 distinct statics", len(m.Datas))
+	}
+	// b's accessor must reference b's renamed static.
+	fb := m.Funcs["get_b"]
+	renamed := fb.Code[0].Sym
+	if renamed == "state" {
+		t.Error("b's static reference not redirected after collision rename")
+	}
+	if d, ok := m.Datas[renamed]; !ok || d.Init[0].Val != 2 {
+		t.Errorf("b's static %q missing or wrong value", renamed)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFile("a.o")
+	f.Funcs["f"] = &Func{Name: "f", Code: []Instr{{Op: OpCall, Sym: "x"}}}
+	f.AddSym(&Symbol{Name: "f", Kind: SymFunc, Defined: true})
+	cp := f.Clone()
+	Rename(cp, map[string]string{"f": "g", "x": "y"})
+	if f.Funcs["f"].Code[0].Sym != "x" {
+		t.Error("rename of clone mutated original")
+	}
+}
+
+// TestQuickEvalBinMatchesGo checks the ALU against Go's own semantics
+// for defined cases.
+func TestQuickEvalBinMatchesGo(t *testing.T) {
+	fn := func(a, b int64) bool {
+		type check struct {
+			op   cmini.Tok
+			want func() int64
+			skip bool
+		}
+		checks := []check{
+			{cmini.PLUS, func() int64 { return a + b }, false},
+			{cmini.MINUS, func() int64 { return a - b }, false},
+			{cmini.STAR, func() int64 { return a * b }, false},
+			{cmini.SLASH, func() int64 {
+				if b == 0 {
+					return 0
+				}
+				return a / b
+			}, b == 0},
+			{cmini.AMP, func() int64 { return a & b }, false},
+			{cmini.PIPE, func() int64 { return a | b }, false},
+			{cmini.CARET, func() int64 { return a ^ b }, false},
+			{cmini.SHL, func() int64 { return a << (uint64(b) & 63) }, false},
+		}
+		for _, c := range checks {
+			if c.skip {
+				continue
+			}
+			got, err := EvalBin(c.op, a, b)
+			if err != nil || got != c.want() {
+				return false
+			}
+		}
+		// Comparisons return exactly 0 or 1.
+		for _, op := range []cmini.Tok{cmini.LT, cmini.GT, cmini.LE, cmini.GE, cmini.EQ, cmini.NE} {
+			v, err := EvalBin(op, a, b)
+			if err != nil || (v != 0 && v != 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := EvalBin(cmini.SLASH, 1, 0); err != ErrDivideByZero {
+		t.Errorf("div by zero: %v", err)
+	}
+	if _, err := EvalBin(cmini.PERCENT, 1, 0); err != ErrDivideByZero {
+		t.Errorf("mod by zero: %v", err)
+	}
+	if _, err := EvalBin(cmini.LBRACE, 1, 2); err == nil {
+		t.Error("bad op should error")
+	}
+	if _, err := EvalUn(cmini.PLUS, 1); err == nil {
+		t.Error("bad unary op should error")
+	}
+}

@@ -1,0 +1,581 @@
+package oskit
+
+import "knit/internal/knit/link"
+
+// This file extends the kit toward the scale of the real OSKit ("about
+// 250 components"): a second tier of small components — RNG, ring-buffer
+// pipe, cooperative scheduler, keyboard input, VGA text console, system
+// logger, statistics, and a timer built on the clock — plus BigKernel, a
+// composition in the 30+ instance range of the paper's §6 test programs.
+
+// srcRng is a xorshift pseudo-random generator with a seeding
+// initializer.
+const srcRng = `
+static int state;
+void rng_init(void) { state = 88172645463325252; }
+int rng_next(void) {
+    int x = state;
+    x = x ^ (x << 13);
+    x = x ^ ((x >> 7) & 144115188075855871);
+    x = x ^ (x << 17);
+    state = x;
+    return x & 2147483647;
+}
+int rng_range(int n) {
+    if (n <= 0) { return 0; }
+    return rng_next() % n;
+}
+`
+
+// srcPipe is a fixed-capacity ring-buffer pipe.
+const srcPipe = `
+static int buf[64];
+static int rd;
+static int wr;
+void pipe_init(void) {
+    rd = 0;
+    wr = 0;
+}
+int pipe_write(int w) {
+    if (wr - rd >= 64) { return -1; }
+    buf[wr % 64] = w;
+    wr++;
+    return 1;
+}
+int pipe_read(void) {
+    if (rd == wr) { return -1; }
+    int v = buf[rd % 64];
+    rd++;
+    return v;
+}
+int pipe_len(void) { return wr - rd; }
+`
+
+// srcSched is a cooperative run queue of function pointers: tasks are
+// fn values enqueued with sched_spawn and drained by sched_run.
+const srcSched = `
+static fn tasks[32];
+static int args[32];
+static int ntasks;
+void sched_init(void) { ntasks = 0; }
+int sched_spawn(fn f, int arg) {
+    if (ntasks >= 32) { return -1; }
+    tasks[ntasks] = f;
+    args[ntasks] = arg;
+    ntasks++;
+    return ntasks;
+}
+int sched_run(void) {
+    int done = 0;
+    int i = 0;
+    while (i < ntasks) {
+        fn f = tasks[i];
+        f(args[i]);
+        done++;
+        i++;
+    }
+    ntasks = 0;
+    return done;
+}
+`
+
+// srcKbd reads from the keyboard device builtin (returns -1 when no key
+// is pending).
+const srcKbd = `
+extern int __kbd_in(void);
+int kbd_read(void) { return __kbd_in(); }
+int kbd_gets(char *dst, int max) {
+    int n = 0;
+    while (n < max - 1) {
+        int c = __kbd_in();
+        if (c < 0 || c == '\n') { break; }
+        dst[n] = c;
+        n++;
+    }
+    dst[n] = 0;
+    return n;
+}
+`
+
+// srcVga renders to a memory-mapped text buffer (a static array standing
+// in for 0xB8000) while also mirroring to the console device, so output
+// is observable both ways.
+const srcVga = `
+extern int __console_out(int c);
+static int vram[2000];
+static int cursor;
+int putchar_(int c) {
+    if (c == '\n') {
+        cursor = (cursor / 80 + 1) * 80;
+    } else {
+        vram[cursor % 2000] = c;
+        cursor++;
+    }
+    __console_out(c);
+    return c;
+}
+int vga_cell(int i) {
+    if (i < 0 || i >= 2000) { return -1; }
+    return vram[i];
+}
+int vga_cursor(void) { return cursor; }
+`
+
+// srcSyslog is a bounded in-memory log of (code, value) records.
+const srcSyslog = `
+static int codes[128];
+static int values[128];
+static int n;
+void syslog_init(void) { n = 0; }
+int syslog_put(int code, int value) {
+    if (n >= 128) { return -1; }
+    codes[n] = code;
+    values[n] = value;
+    n++;
+    return n;
+}
+int syslog_count(void) { return n; }
+int syslog_code(int i) {
+    if (i < 0 || i >= n) { return -1; }
+    return codes[i];
+}
+int syslog_value(int i) {
+    if (i < 0 || i >= n) { return -1; }
+    return values[i];
+}
+`
+
+// srcStats counts named events (a fixed table of 16 counters).
+const srcStats = `
+static int counters[16];
+void stats_init(void) {
+    for (int i = 0; i < 16; i++) { counters[i] = 0; }
+}
+int stat_bump(int which) {
+    if (which < 0 || which >= 16) { return -1; }
+    counters[which]++;
+    return counters[which];
+}
+int stat_read(int which) {
+    if (which < 0 || which >= 16) { return -1; }
+    return counters[which];
+}
+`
+
+// srcTimer builds one-shot timers on the clock component.
+const srcTimer = `
+int clock_now(void);
+int clock_tick(void);
+static int deadline;
+static int armed;
+void timer_init(void) { armed = 0; }
+int timer_arm(int ticks) {
+    deadline = clock_now() + ticks;
+    armed = 1;
+    return deadline;
+}
+int timer_expired(void) {
+    if (!armed) { return 0; }
+    if (clock_now() >= deadline) {
+        armed = 0;
+        return 1;
+    }
+    return 0;
+}
+`
+
+// srcAsmString is the string component reimplemented in assembly — the
+// kind of hand-tuned hot-path routine real kits keep in .s files. It
+// exports the same Str bundle as StringU, so kernels can swap it in with
+// a one-line link change (paper: "Knit can actually work with C,
+// assembly, and object code").
+const srcAsmString = `
+# strlen_(s): scan for the NUL terminator.
+func strlen_ nargs=1 nregs=5
+  const r1, 0          ; n
+  const r2, 1
+scan:
+  bin r3, r0, +, r1
+  load r3, r3
+  branch r3, more, done
+more:
+  bin r1, r1, +, r2
+  jump scan
+done:
+  ret r1
+
+# strcmp_(a, b)
+func strcmp_ nargs=2 nregs=7
+  const r2, 1
+loop:
+  load r3, r0
+  load r4, r1
+  bin r5, r3, -, r4
+  branch r5, differ, same
+same:
+  branch r3, step, equal
+step:
+  bin r0, r0, +, r2
+  bin r1, r1, +, r2
+  jump loop
+differ:
+  ret r5
+equal:
+  const r5, 0
+  ret r5
+
+# strcpy_(dst, src) -> length copied
+func strcpy_ nargs=2 nregs=7
+  const r2, 0          ; n
+  const r3, 1
+copy:
+  bin r4, r1, +, r2
+  load r4, r4
+  bin r5, r0, +, r2
+  store r5, r4
+  branch r4, next, fin
+next:
+  bin r2, r2, +, r3
+  jump copy
+fin:
+  ret r2
+
+# memset_(p, v, n)
+func memset_ nargs=3 nregs=7
+  const r3, 0
+  const r4, 1
+mloop:
+  bin r5, r3, <, r2
+  branch r5, mbody, mdone
+mbody:
+  bin r6, r0, +, r3
+  store r6, r1
+  bin r3, r3, +, r4
+  jump mloop
+mdone:
+  ret r2
+
+# memcpy_(dst, src, n)
+func memcpy_ nargs=3 nregs=8
+  const r3, 0
+  const r4, 1
+cloop:
+  bin r5, r3, <, r2
+  branch r5, cbody, cdone
+cbody:
+  bin r6, r1, +, r3
+  load r6, r6
+  bin r7, r0, +, r3
+  store r7, r6
+  bin r3, r3, +, r4
+  jump cloop
+cdone:
+  ret r2
+`
+
+// ExtraUnitDefs declares the second-tier components and BigKernel.
+const ExtraUnitDefs = `
+// AsmString: the Str bundle implemented in assembly.
+unit AsmString = {
+  exports [ str : Str ];
+  files { "string.s" };
+}
+
+bundletype Rng    = { rng_init2, rng_next, rng_range }
+bundletype Pipe   = { pipe_write, pipe_read, pipe_len }
+bundletype Sched  = { sched_spawn, sched_run }
+bundletype Kbd    = { kbd_read, kbd_gets }
+bundletype Vga    = { vga_cell, vga_cursor }
+bundletype Syslog = { syslog_put, syslog_count, syslog_code, syslog_value }
+bundletype Stats  = { stat_bump, stat_read }
+bundletype Timer  = { timer_arm, timer_expired }
+
+unit RngU = {
+  exports [ rng : Rng ];
+  initializer rng_init for rng;
+  files { "rng.c" };
+  rename { rng.rng_init2 to rng_reseed; };
+}
+
+unit PipeU = {
+  exports [ pipe : Pipe ];
+  initializer pipe_init for pipe;
+  files { "pipe.c" };
+}
+
+unit SchedU = {
+  exports [ sched : Sched ];
+  initializer sched_init for sched;
+  files { "sched.c" };
+  constraints { context(sched) = ProcessContext; };
+}
+
+unit KbdU = {
+  exports [ kbd : Kbd ];
+  files { "kbd.c" };
+}
+
+// VgaConsole exports the same PutChar bundle as ConsoleDev/SerialDev —
+// a third interchangeable console implementation — plus its own Vga
+// inspection bundle.
+unit VgaConsole = {
+  exports [ out : PutChar, vga : Vga ];
+  files { "vga.c" };
+  constraints { context(out) = NoContext; };
+}
+
+unit SyslogU = {
+  exports [ slog : Syslog ];
+  initializer syslog_init for slog;
+  files { "syslog.c" };
+}
+
+unit StatsU = {
+  exports [ stats : Stats ];
+  initializer stats_init for stats;
+  files { "stats.c" };
+}
+
+unit TimerU = {
+  imports [ clk : Clock ];
+  exports [ timer : Timer ];
+  initializer timer_init for timer;
+  depends {
+    timer needs clk;
+    timer_init needs clk;
+  };
+  files { "timer.c" };
+}
+
+// BigMain drives a workload across the whole kit: filesystem
+// transactions, pipe traffic, RNG, timers, stats, and logging, printing
+// a summary through the VGA console.
+unit BigMain = {
+  imports [ fs : Fs, pf : Printf, mem : Malloc, clk : Clock,
+            rng : Rng, pipe : Pipe, sched : Sched, slog : Syslog,
+            stats : Stats, timer : Timer, str : Str ];
+  exports [ main : Main ];
+  depends { main needs (fs + pf + mem + clk + rng + pipe + sched + slog + stats + timer + str); };
+  files { "big_main.c" };
+}
+
+unit BigKernel = {
+  exports [ main : Main ];
+  link {
+    [str] <- StringU <- [];
+    [out, vga] <- VgaConsole <- [];
+    [pf] <- PrintfU <- [out];
+    [mem] <- ListAlloc <- [];
+    [clk] <- ClockU <- [];
+    [fs] <- MemFs <- [str];
+    [rng] <- RngU <- [];
+    [pipe] <- PipeU <- [];
+    [sched] <- SchedU <- [];
+    [slog] <- SyslogU <- [];
+    [stats] <- StatsU <- [];
+    [timer] <- TimerU <- [clk];
+    [main] <- BigMain <- [fs, pf, mem, clk, rng, pipe, sched, slog, stats, timer, str];
+  };
+}
+`
+
+const srcRngExtra = `
+int rng_reseed(void) {
+    rng_init();
+    return 0;
+}
+`
+
+const srcBigMain = `
+int fs_init2(void);
+int fs_open(char *name);
+int fs_write(int fd, int w);
+int fs_read(int fd, int off);
+int fs_size(int fd);
+int fs_close(int fd);
+int puts_(char *s);
+int putint_(int v);
+int malloc_(int n);
+int free_(int p);
+int clock_now(void);
+int clock_tick(void);
+int rng_next(void);
+int rng_range(int n);
+int pipe_write(int w);
+int pipe_read(void);
+int pipe_len(void);
+int sched_spawn(fn f, int arg);
+int sched_run(void);
+int syslog_put(int code, int value);
+int syslog_count(void);
+int stat_bump(int which);
+int stat_read(int which);
+int timer_arm(int ticks);
+int timer_expired(void);
+int strlen_(char *s);
+extern int __tick_enter(void);
+extern int __tick_exit(void);
+
+static int pumped = 0;
+int pump_task(int arg) {
+    pipe_write(arg);
+    pumped += arg;
+    return pumped;
+}
+
+int transact(int i) {
+    stat_bump(0);
+    int fd = fs_open(i % 2 == 0 ? "alpha" : "beta");
+    if (fd < 0) { return -1; }
+    if (fs_size(fd) >= 56) { fs_init2(); fd = fs_open("alpha"); }
+    fs_write(fd, rng_range(100) + i);
+    int sum = 0;
+    int n = fs_size(fd);
+    for (int j = 0; j < n; j++) {
+        sum += fs_read(fd, j);
+    }
+    sched_spawn(&pump_task, i % 7);
+    sched_spawn(&pump_task, i % 3);
+    sched_run();
+    while (pipe_len() > 0) {
+        sum ^= pipe_read();
+    }
+    int *p = malloc_(2);
+    if (p != 0) {
+        p[0] = sum;
+        sum = p[0];
+        free_(p);
+    }
+    if (timer_expired()) {
+        syslog_put(1, clock_now());
+        timer_arm(5);
+    }
+    clock_tick();
+    stat_bump(1);
+    fs_close(fd);
+    return sum & 65535;
+}
+
+int kmain(int iters) {
+    timer_arm(3);
+    int total = 0;
+    __tick_enter();
+    for (int i = 0; i < iters; i++) {
+        total += transact(i);
+    }
+    __tick_exit();
+    puts_("ops=");
+    putint_(stat_read(0));
+    puts_(" logs=");
+    putint_(syslog_count());
+    puts_("\n");
+    return total;
+}
+`
+
+// srcDeferred is the interrupt bottom-half pattern: the enqueue side is
+// callable from any context (an interrupt handler defers work into it);
+// the drain side runs in process context and may therefore use blocking
+// services. One component, two bundles, two different context
+// constraints.
+const srcDeferred = `
+static int work[64];
+static int rd;
+static int wr;
+void dw_init(void) {
+    rd = 0;
+    wr = 0;
+}
+int dw_enqueue(int item) {
+    if (wr - rd >= 64) { return -1; }
+    work[wr % 64] = item;
+    wr++;
+    return 1;
+}
+int lock_acquire(void);
+int lock_release(void);
+int dw_drain(void) {
+    int n = 0;
+    while (rd != wr) {
+        lock_acquire();
+        rd++;
+        n++;
+        lock_release();
+    }
+    return n;
+}
+`
+
+// srcIrqDefer is an interrupt handler that defers its work.
+const srcIrqDefer = `
+int dw_enqueue(int item);
+static int count = 0;
+int irq_handle(int vec) {
+    count++;
+    dw_enqueue(vec);
+    return count;
+}
+`
+
+// DeferredUnitDefs declares the bottom-half components and the kernels
+// demonstrating the safe and unsafe compositions.
+const DeferredUnitDefs = `
+bundletype WorkQ  = { dw_enqueue }
+bundletype Drainer = { dw_drain }
+
+// One unit, two bundles with different context requirements: enqueueing
+// is interrupt-safe; draining requires a process context (it takes a
+// possibly-blocking lock).
+unit DeferredWork = {
+  imports [ lock : Lock ];
+  exports [ enq : WorkQ, drain : Drainer ];
+  initializer dw_init for enq;
+  depends { drain needs lock; };
+  files { "deferred.c" };
+  constraints {
+    context(enq) = NoContext;
+    context(drain) = ProcessContext;
+    context(drain) <= context(lock);
+  };
+}
+
+unit IrqDefer = {
+  imports [ wq : WorkQ ];
+  exports [ irq : Irq ];
+  depends { irq needs wq; };
+  files { "irq_defer.c" };
+  constraints {
+    context(irq) = NoContext;
+    context(exports) <= context(imports);
+  };
+}
+
+// The safe composition: interrupts defer into the queue; the blocking
+// lock is only reachable from the process-context drain side.
+unit BottomHalfKernel = {
+  exports [ irq : Irq, drain : Drainer ];
+  link {
+    [lock] <- BlockingLock <- [];
+    [enq, drain] <- DeferredWork <- [lock];
+    [irq] <- IrqDefer <- [enq];
+  };
+}
+`
+
+// ExtraSources returns the second-tier component sources.
+func ExtraSources() link.Sources {
+	return link.Sources{
+		"rng.c":       srcRng + srcRngExtra,
+		"pipe.c":      srcPipe,
+		"sched.c":     srcSched,
+		"kbd.c":       srcKbd,
+		"vga.c":       srcVga,
+		"syslog.c":    srcSyslog,
+		"stats.c":     srcStats,
+		"timer.c":     srcTimer,
+		"big_main.c":  srcBigMain,
+		"string.s":    srcAsmString,
+		"deferred.c":  srcDeferred,
+		"irq_defer.c": srcIrqDefer,
+	}
+}

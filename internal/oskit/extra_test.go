@@ -1,0 +1,236 @@
+package oskit
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/knit/build"
+	"knit/internal/machine"
+)
+
+func TestBigKernelRuns(t *testing.T) {
+	res, err := BuildKernel("BigKernel", build.Options{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Program.Instances); n != 13 {
+		t.Errorf("BigKernel instances = %d, want 13", n)
+	}
+	// All component initializers scheduled; timer_init after clock is
+	// ready (it reads clock_now).
+	inits := strings.Join(res.Schedule.Inits, " ")
+	for _, want := range []string{"malloc_init", "fs_init", "clock_init",
+		"rng_init", "pipe_init", "sched_init", "syslog_init", "stats_init",
+		"timer_init"} {
+		if !strings.Contains(inits, want) {
+			t.Errorf("schedule missing %s: %v", want, res.Schedule.Inits)
+		}
+	}
+	ci := strings.Index(inits, "clock_init")
+	ti := strings.Index(inits, "timer_init")
+	if ci < 0 || ti < 0 || ci > ti {
+		t.Errorf("clock_init must precede timer_init: %v", res.Schedule.Inits)
+	}
+
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	machine.InstallStopWatch(m)
+	v, err := res.Run(m, "main", "kmain", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Errorf("kmain = %d", v)
+	}
+	out := con.String()
+	if !strings.Contains(out, "ops=40") {
+		t.Errorf("console = %q, want ops=40", out)
+	}
+	if !strings.Contains(out, "logs=") {
+		t.Errorf("console = %q, want timer log count", out)
+	}
+}
+
+func TestBigKernelFlattenEquivalent(t *testing.T) {
+	run := func(flatten bool) (int64, string) {
+		res, err := BuildKernel("BigKernel", build.Options{Optimize: true, Flatten: flatten})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.NewMachine()
+		con := machine.InstallConsole(m)
+		machine.InstallStopWatch(m)
+		v, err := res.Run(m, "main", "kmain", 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, con.String()
+	}
+	v1, o1 := run(false)
+	v2, o2 := run(true)
+	if v1 != v2 || o1 != o2 {
+		t.Errorf("flattening changed BigKernel: (%d,%q) vs (%d,%q)", v1, o1, v2, o2)
+	}
+}
+
+func TestVgaConsoleAsPutChar(t *testing.T) {
+	// Swap the console implementation in HelloKernel for the VGA one: a
+	// one-line link change, third interchangeable PutChar provider.
+	units := strings.Replace(Units(),
+		"[out] <- ConsoleDev <- [];\n    [pf] <- PrintfU <- [out];\n    [main] <- HelloMain <- [pf];",
+		"[out, vga] <- VgaConsole <- [];\n    [pf] <- PrintfU <- [out];\n    [main] <- HelloMain <- [pf];",
+		1)
+	res, err := build.Build(build.Options{
+		Top:       "HelloKernel",
+		UnitFiles: map[string]string{"oskit.unit": units},
+		Sources:   KernelSources(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	if _, err := res.Run(m, "main", "kmain", 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(con.String(), "hello from the oskit: 5") {
+		t.Errorf("console = %q", con.String())
+	}
+}
+
+func TestKbdComponent(t *testing.T) {
+	units := Units() + `
+bundletype Echo = { echo }
+unit EchoMain = {
+  imports [ kbd : Kbd, pf : Printf ];
+  exports [ main2 : Echo ];
+  depends { main2 needs (kbd + pf); };
+  files { "echo_main.c" };
+}
+unit EchoKernel = {
+  exports [ main2 : Echo ];
+  link {
+    [kbd] <- KbdU <- [];
+    [out] <- ConsoleDev <- [];
+    [pf] <- PrintfU <- [out];
+    [main2] <- EchoMain <- [kbd, pf];
+  };
+}
+`
+	sources := KernelSources()
+	sources["echo_main.c"] = `
+int kbd_gets(char *dst, int max);
+int puts_(char *s);
+int echo(int unused) {
+    char buf[32];
+    int n = kbd_gets(buf, 32);
+    puts_(buf);
+    return n;
+}
+`
+	res, err := build.Build(build.Options{
+		Top:       "EchoKernel",
+		UnitFiles: map[string]string{"oskit.unit": units},
+		Sources:   sources,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	input := []int64{'h', 'i', '!', '\n', 'x'}
+	pos := 0
+	m.RegisterBuiltin("__kbd_in", func(_ *machine.M, _ []int64) (int64, error) {
+		if pos >= len(input) {
+			return -1, nil
+		}
+		c := input[pos]
+		pos++
+		return c, nil
+	})
+	n, err := res.Run(m, "main2", "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || con.String() != "hi!" {
+		t.Errorf("echo = %d, console %q", n, con.String())
+	}
+}
+
+// TestAsmStringSwap swaps the C string component for the
+// assembly-implemented one in FsKernel: a one-line configuration change,
+// identical behaviour — the paper's "C, assembly, and object code" claim
+// exercised inside the kit.
+func TestAsmStringSwap(t *testing.T) {
+	units := strings.Replace(Units(),
+		"[str] <- StringU <- [];\n    [out] <- ConsoleDev <- [];\n    [pf] <- PrintfU <- [out];\n    [mem] <- BumpAlloc <- [];",
+		"[str] <- AsmString <- [];\n    [out] <- ConsoleDev <- [];\n    [pf] <- PrintfU <- [out];\n    [mem] <- BumpAlloc <- [];",
+		1)
+	if units == Units() {
+		t.Fatal("link-line replacement did not apply")
+	}
+	res, err := build.Build(build.Options{
+		Top:       "FsKernel",
+		UnitFiles: map[string]string{"oskit.unit": units},
+		Sources:   KernelSources(),
+	})
+	if err != nil {
+		t.Fatalf("build with AsmString: %v", err)
+	}
+	m := res.NewMachine()
+	machine.InstallConsole(m)
+	machine.InstallStopWatch(m)
+	vAsm, err := res.Run(m, "main", "kmain", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vC, _, _, err := RunKernel("FsKernel", build.Options{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vAsm != vC {
+		t.Errorf("assembly string component changed results: %d vs %d", vAsm, vC)
+	}
+}
+
+func TestSchedContextConstraint(t *testing.T) {
+	// The cooperative scheduler requires a process context; wiring it
+	// under interrupt-path code must fail the §4 check.
+	units := Units() + `
+bundletype Poll = { poll_once }
+unit IrqPoller = {
+  imports [ sched : Sched ];
+  exports [ poll : Poll ];
+  depends { poll needs sched; };
+  files { "irq_poller.c" };
+  constraints {
+    context(poll) = NoContext;
+    context(exports) <= context(imports);
+  };
+}
+unit BadPollKernel = {
+  exports [ poll : Poll ];
+  link {
+    [sched] <- SchedU <- [];
+    [poll] <- IrqPoller <- [sched];
+  };
+}
+`
+	sources := KernelSources()
+	sources["irq_poller.c"] = `
+int sched_run(void);
+int poll_once(int vec) { return sched_run(); }
+`
+	_, err := build.Build(build.Options{
+		Top:       "BadPollKernel",
+		UnitFiles: map[string]string{"oskit.unit": units},
+		Sources:   sources,
+		Check:     true,
+	})
+	if err == nil {
+		t.Fatal("NoContext poller over a ProcessContext scheduler must be rejected")
+	}
+	if !strings.Contains(err.Error(), "constraint violation") {
+		t.Errorf("err = %v, want constraint violation", err)
+	}
+}

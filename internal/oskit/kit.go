@@ -1,0 +1,114 @@
+package oskit
+
+import (
+	"fmt"
+	"strings"
+
+	"knit/internal/cmini"
+	"knit/internal/compile"
+	"knit/internal/knit/build"
+	"knit/internal/ldlink"
+	"knit/internal/machine"
+	"knit/internal/obj"
+)
+
+// BuildKernel builds one of the kit's kernels with Knit.
+func BuildKernel(top string, opts build.Options) (*build.Result, error) {
+	opts.Top = top
+	opts.UnitFiles = map[string]string{"oskit.unit": Units()}
+	opts.Sources = KernelSources()
+	return build.Build(opts)
+}
+
+// TraditionalFsProgram builds the FsKernel program the pre-Knit way: each
+// source compiled separately and linked with the bag-of-objects linker in
+// a single global namespace, initialization called from a hand-written
+// canned sequence (the "carefully devised function that calls all
+// initializers in the right order, once and for all" of §5). It is the
+// baseline for the §6 "Knit versus traditionally built" micro-benchmark.
+func TraditionalFsProgram(optimize bool) (*obj.File, error) {
+	files := []string{"string.c", "console.c", "printf.c", "bumpalloc.c",
+		"clock.c", "memfs.c", "fs_main.c"}
+	initFuncs := []string{"malloc_init", "fs_init", "clock_init"}
+	return traditionalProgram(files, initFuncs, optimize)
+}
+
+// TraditionalBigProgram is the pre-Knit build of the BigKernel
+// composition: thirteen components with a longer hand-maintained
+// initialization sequence.
+func TraditionalBigProgram(optimize bool) (*obj.File, error) {
+	files := []string{"string.c", "vga.c", "printf.c", "listalloc.c",
+		"clock.c", "memfs.c", "rng.c", "pipe.c", "sched.c", "syslog.c",
+		"stats.c", "timer.c", "big_main.c"}
+	initFuncs := []string{"malloc_init", "fs_init", "clock_init",
+		"rng_init", "pipe_init", "sched_init", "syslog_init",
+		"stats_init", "timer_init"}
+	return traditionalProgram(files, initFuncs, optimize)
+}
+
+// traditionalProgram compiles the named sources separately, generates
+// init.c (the canned initialization sequence) and compat.c (name-bridging
+// shims standing in for the "#include redirection, preprocessor magic,
+// and name mangling" of §1 — Knit's rename clauses replace them), and
+// links everything with ld.
+func traditionalProgram(files, initFuncs []string, optimize bool) (*obj.File, error) {
+	srcs := KernelSources()
+	var inits strings.Builder
+	for _, fn := range initFuncs {
+		fmt.Fprintf(&inits, "void %s(void);\n", fn)
+	}
+	inits.WriteString("void canned_init(void) {\n")
+	for _, fn := range initFuncs {
+		fmt.Fprintf(&inits, "    %s();\n", fn)
+	}
+	inits.WriteString("}\n")
+	compat := `
+int fs_reset(void);
+int fs_init2(void) { return fs_reset(); }
+`
+	var items []ldlink.Item
+	for _, name := range files {
+		f, err := cmini.Parse(name, srcs[name])
+		if err != nil {
+			return nil, fmt.Errorf("oskit traditional: %w", err)
+		}
+		o, err := compile.Compile(f, compile.Options{Opt: optimize})
+		if err != nil {
+			return nil, fmt.Errorf("oskit traditional: %w", err)
+		}
+		items = append(items, ldlink.Obj(o))
+	}
+	for name, src := range map[string]string{"init.c": inits.String(), "compat.c": compat} {
+		f, err := cmini.Parse(name, src)
+		if err != nil {
+			return nil, err
+		}
+		o, err := compile.Compile(f, compile.Options{Opt: optimize})
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, ldlink.Obj(o))
+	}
+	return ldlink.Link(items, ldlink.Options{
+		AllowUndefined: []string{"__*"},
+		Entry:          "kmain",
+	})
+}
+
+// RunKernel builds a kernel, runs its kmain with the given argument, and
+// returns (result, console output, machine).
+func RunKernel(top string, opts build.Options, arg int64) (int64, string, *machine.M, error) {
+	res, err := BuildKernel(top, opts)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	machine.InstallSerial(m)
+	machine.InstallStopWatch(m)
+	v, err := res.Run(m, "main", "kmain", arg)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return v, con.String(), m, nil
+}

@@ -1,0 +1,213 @@
+package oskit
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/constraint"
+	"knit/internal/knit/link"
+	"knit/internal/machine"
+)
+
+func TestHelloKernel(t *testing.T) {
+	v, out, _, err := RunKernel("HelloKernel", build.Options{}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("kmain(21) = %d, want 42", v)
+	}
+	if out != "hello from the oskit: 21\n" {
+		t.Errorf("console = %q", out)
+	}
+}
+
+func TestPrintfRedirection(t *testing.T) {
+	// The §5 example: app printf goes to the console, driver printf goes
+	// to the serial port — expressed purely by wiring two PrintfU
+	// instances to different devices.
+	res, err := BuildKernel("RedirectKernel", build.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printfInstances := 0
+	for _, inst := range res.Program.Instances {
+		if inst.Unit.Name == "PrintfU" {
+			printfInstances++
+		}
+	}
+	if printfInstances != 2 {
+		t.Fatalf("PrintfU instances = %d, want 2", printfInstances)
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	ser := machine.InstallSerial(m)
+	if _, err := res.Run(m, "main", "kmain", 0); err != nil {
+		t.Fatal(err)
+	}
+	if con.String() != "app output" {
+		t.Errorf("console = %q, want app output only", con.String())
+	}
+	if ser.String() != "driver debug" {
+		t.Errorf("serial = %q, want driver debug only", ser.String())
+	}
+}
+
+func TestFsKernelRuns(t *testing.T) {
+	v, out, _, err := RunKernel("FsKernel", build.Options{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Errorf("kmain(20) = %d, want positive checksum", v)
+	}
+	if !strings.HasPrefix(out, "total=") {
+		t.Errorf("console = %q", out)
+	}
+}
+
+func TestAllocatorSwapIsConfigChange(t *testing.T) {
+	v1, _, _, err := RunKernel("FsKernel", build.Options{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, _, err := RunKernel("FsKernelListAlloc", build.Options{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Errorf("allocator choice changed results: %d vs %d", v1, v2)
+	}
+}
+
+func TestIrqConstraintKernels(t *testing.T) {
+	// Safe composition passes.
+	if _, err := BuildKernel("SafeIrqKernel", build.Options{Check: true}); err != nil {
+		t.Errorf("SafeIrqKernel should check: %v", err)
+	}
+	// Blocking lock under an interrupt handler is rejected.
+	_, err := BuildKernel("BadIrqKernel", build.Options{Check: true})
+	if err == nil {
+		t.Fatal("BadIrqKernel must fail the constraint check")
+	}
+	if _, ok := err.(*constraint.Violation); !ok {
+		t.Errorf("err = %T %v, want constraint violation", err, err)
+	}
+	// Without checking, it builds (the check is what catches it).
+	if _, err := BuildKernel("BadIrqKernel", build.Options{}); err != nil {
+		t.Errorf("BadIrqKernel without check: %v", err)
+	}
+}
+
+func TestInitScheduleOrdersFsAfterString(t *testing.T) {
+	res, err := BuildKernel("FsKernel", build.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Inits) < 3 {
+		t.Errorf("schedule = %v, want malloc/fs/clock inits", res.Schedule.Inits)
+	}
+}
+
+func TestTraditionalFsProgramMatchesKnit(t *testing.T) {
+	// The same components, built the old way, must compute the same
+	// answer — Knit's value is elsewhere (composition safety), and its
+	// runtime cost must be ~zero (checked in the benchmark).
+	trad, err := TraditionalFsProgram(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := machine.Load(trad, machine.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(img)
+	machine.InstallConsole(m)
+	machine.InstallStopWatch(m)
+	if _, err := m.Run("canned_init"); err != nil {
+		t.Fatal(err)
+	}
+	vTrad, err := m.Run("kmain", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vKnit, _, _, err := RunKernel("FsKernel", build.Options{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vTrad != vKnit {
+		t.Errorf("traditional %d != knit %d", vTrad, vKnit)
+	}
+}
+
+func TestCensusKernelBuildsAndChecks(t *testing.T) {
+	units, sources, top := CensusKernel(100, 35)
+	res, err := build.Build(build.Options{
+		Top:       top,
+		UnitFiles: map[string]string{"census.unit": units},
+		Sources:   sources,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatalf("census build: %v", err)
+	}
+	if len(res.Program.Instances) != 100 {
+		t.Errorf("instances = %d, want 100", len(res.Program.Instances))
+	}
+	annotated := 0
+	propagating := 0
+	for _, inst := range res.Program.Instances {
+		if len(inst.Unit.Constraints) == 0 {
+			continue
+		}
+		annotated++
+		for _, c := range inst.Unit.Constraints {
+			if c.LHS.Arg == "exports" && !c.RHS.IsValue() && c.RHS.Arg == "imports" {
+				propagating++
+				break
+			}
+		}
+	}
+	if annotated != 35 {
+		t.Errorf("annotated units = %d, want 35", annotated)
+	}
+	// ~70% of annotated units only propagate (the paper's census).
+	ratio := float64(propagating) / float64(annotated)
+	if ratio < 0.9 { // 34/35 here; the paper reports 70% on real units
+		t.Errorf("propagating ratio = %f", ratio)
+	}
+}
+
+func TestCensusKernelCatchesInjectedError(t *testing.T) {
+	units, sources, top := CensusKernel(100, 35)
+	// Inject a conflicting requirement at the top of the chain: the
+	// propagation clamps everything to ProcessContext, so demanding
+	// NoContext from the import is unsatisfiable.
+	units = strings.Replace(units,
+		"unit C0 = {\n  imports [ below : S1 ];",
+		"unit C0 = {\n  imports [ below : S1 ];\n  constraints { context(below) = NoContext; };",
+		1)
+	_, err := build.Build(build.Options{
+		Top:       top,
+		UnitFiles: map[string]string{"census.unit": units},
+		Sources:   sources,
+		Check:     true,
+	})
+	if err == nil {
+		t.Fatal("injected conflict not caught")
+	}
+}
+
+func TestKernelSourcesAreComplete(t *testing.T) {
+	srcs := KernelSources()
+	for _, f := range []string{"string.c", "console.c", "serial.c",
+		"printf.c", "bumpalloc.c", "listalloc.c", "memfs.c", "spinlock.c",
+		"blockinglock.c", "clock.c", "irq.c", "hello_main.c",
+		"redirect_main.c", "fs_main.c"} {
+		if _, ok := srcs[f]; !ok {
+			t.Errorf("missing source %q", f)
+		}
+	}
+	_ = link.Sources(srcs)
+}

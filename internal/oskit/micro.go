@@ -1,0 +1,92 @@
+package oskit
+
+import (
+	"fmt"
+
+	"knit/internal/knit/build"
+	"knit/internal/machine"
+	"knit/internal/obj"
+)
+
+// MicroResult is one row of the §6 micro-benchmark: the same
+// unit-boundary-heavy program built with Knit and built traditionally,
+// measured over the same workload.
+type MicroResult struct {
+	Kernel      string
+	KnitCycles  float64 // per-iteration cycles, Knit build
+	TradCycles  float64 // per-iteration cycles, traditional build
+	DeltaPct    float64 // (knit-trad)/trad * 100; negative = Knit faster
+	UnitsTotal  int
+	UnitsOnPath int
+}
+
+// unitsOnFsPath is the depth of the component chain a single FsKernel
+// transaction crosses: FsMain -> MemFs -> StringU, FsMain -> BumpAlloc,
+// FsMain -> ClockU, and at the end FsMain -> PrintfU -> ConsoleDev
+// (3–8 units on the critical path, as in §6).
+const unitsOnFsPath = 7
+
+// RunMicro measures the §6 experiment for the FsKernel workload: Knit's
+// generated linking and initialization must cost essentially nothing at
+// run time versus the traditional ld build — the paper reports "from 2%
+// slower to 3% faster", the residue being code-placement effects.
+func RunMicro(iters int64) (*MicroResult, error) {
+	return RunMicroKernel("FsKernel", iters)
+}
+
+// RunMicroKernel runs the micro-benchmark for "FsKernel" or "BigKernel".
+func RunMicroKernel(kernel string, iters int64) (*MicroResult, error) {
+	res, err := BuildKernel(kernel, build.Options{})
+	if err != nil {
+		return nil, err
+	}
+	mk := res.NewMachine()
+	machine.InstallConsole(mk)
+	wk := machine.InstallStopWatch(mk)
+	if _, err := res.Run(mk, "main", "kmain", iters); err != nil {
+		return nil, fmt.Errorf("knit build: %w", err)
+	}
+	if wk.Windows == 0 {
+		return nil, fmt.Errorf("knit build measured no work")
+	}
+	knitPer := float64(wk.Total) / float64(iters)
+
+	var trad *obj.File
+	switch kernel {
+	case "FsKernel":
+		trad, err = TraditionalFsProgram(false)
+	case "BigKernel":
+		trad, err = TraditionalBigProgram(false)
+	default:
+		return nil, fmt.Errorf("oskit: no traditional build for kernel %q", kernel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	img, err := machine.Load(trad, machine.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	mt := machine.New(img)
+	machine.InstallConsole(mt)
+	wt := machine.InstallStopWatch(mt)
+	if _, err := mt.Run("canned_init"); err != nil {
+		return nil, err
+	}
+	if _, err := mt.Run("kmain", iters); err != nil {
+		return nil, fmt.Errorf("traditional build: %w", err)
+	}
+	if wt.Windows == 0 {
+		return nil, fmt.Errorf("traditional build measured no work")
+	}
+	tradPer := float64(wt.Total) / float64(iters)
+
+	return &MicroResult{
+		Kernel:      kernel,
+		KnitCycles:  knitPer,
+		TradCycles:  tradPer,
+		DeltaPct:    100 * (knitPer - tradPer) / tradPer,
+		UnitsTotal:  len(res.Program.Instances),
+		UnitsOnPath: unitsOnFsPath,
+	}, nil
+}

@@ -1,0 +1,295 @@
+// Package oskit is a component kit in the style of the Flux OSKit: a
+// collection of small systems components (console, serial port, printf,
+// allocators, an in-memory filesystem, locks, a clock) written in cmini
+// with Knit unit descriptions. It supplies the units for the paper's §5
+// experience experiments (printf redirection, initialization scheduling,
+// the constraint census) and the §6 unit-boundary micro-benchmarks.
+package oskit
+
+import "knit/internal/knit/link"
+
+// srcString is the string-utilities component: the OSKit's freestanding
+// libc fragment.
+const srcString = `
+int strlen_(char *s) {
+    int n = 0;
+    while (s[n] != 0) { n++; }
+    return n;
+}
+int strcmp_(char *a, char *b) {
+    int i = 0;
+    while (a[i] != 0 && a[i] == b[i]) { i++; }
+    return a[i] - b[i];
+}
+int strcpy_(char *dst, char *src) {
+    int i = 0;
+    while (src[i] != 0) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+    return i;
+}
+int memset_(int *p, int v, int n) {
+    for (int i = 0; i < n; i++) { p[i] = v; }
+    return n;
+}
+int memcpy_(int *dst, int *src, int n) {
+    for (int i = 0; i < n; i++) { dst[i] = src[i]; }
+    return n;
+}
+`
+
+// srcConsoleDev drives the console device (a machine builtin).
+const srcConsoleDev = `
+extern int __console_out(int c);
+int putchar_(int c) {
+    __console_out(c);
+    return c;
+}
+`
+
+// srcSerialDev drives the serial port; it exports the same PutChar
+// bundle type as the console, so output can be redirected per client by
+// wiring (the paper's §5 printf-redirection example).
+const srcSerialDev = `
+extern int __serial_out(int c);
+int putchar_(int c) {
+    __serial_out(c);
+    return c;
+}
+`
+
+// srcPrintf is a minimal formatted-output component over a PutChar
+// import: puts_/putint_/puthex_ stand in for printf's %s/%d/%x.
+const srcPrintf = `
+int putchar_(int c);
+int puts_(char *s) {
+    int i = 0;
+    while (s[i] != 0) {
+        putchar_(s[i]);
+        i++;
+    }
+    return i;
+}
+int putint_(int v) {
+    int n = 0;
+    if (v < 0) {
+        putchar_('-');
+        v = -v;
+        n = 1;
+    }
+    if (v >= 10) {
+        n = n + putint_(v / 10);
+    }
+    putchar_('0' + v % 10);
+    return n + 1;
+}
+int puthex_(int v) {
+    int n = 0;
+    if (v >= 16) {
+        n = puthex_(v / 16);
+    }
+    int d = v % 16;
+    if (d < 10) {
+        putchar_('0' + d);
+    } else {
+        putchar_('a' + d - 10);
+    }
+    return n + 1;
+}
+`
+
+// srcBumpAlloc is the simple allocator: a bump pointer over a static
+// heap, with free as a no-op. mem_avail reports remaining words.
+const srcBumpAlloc = `
+static int heap[8192];
+static int brk_;
+void malloc_init(void) { brk_ = 0; }
+int malloc_(int words) {
+    if (words <= 0) { return 0; }
+    if (brk_ + words > 8192) { return 0; }
+    int *p = heap + brk_;
+    brk_ += words;
+    return p;
+}
+int free_(int p) { return 0; }
+int mem_avail(void) { return 8192 - brk_; }
+`
+
+// srcListAlloc is the free-list allocator: an alternative implementation
+// of the same Malloc bundle (component kits offer interchangeable
+// implementations). Blocks carry a one-word header holding their size.
+// Blocks carry a two-word header: [next free block, size]. In the
+// word-addressed memory model pointer values and ints interconvert
+// freely, so the free list stores raw addresses.
+const srcListAlloc = `
+static int heap[8192];
+static int brk_;
+static int freelist;
+void malloc_init(void) {
+    brk_ = 0;
+    freelist = 0;
+}
+int malloc_(int words) {
+    if (words <= 0) { return 0; }
+    int cur = freelist;
+    int prev = 0;
+    while (cur != 0) {
+        int *b = cur;
+        if (b[1] >= words) {
+            if (prev != 0) {
+                int *pb = prev;
+                pb[0] = b[0];
+            } else {
+                freelist = b[0];
+            }
+            return cur + 2;
+        }
+        prev = cur;
+        cur = b[0];
+    }
+    if (brk_ + words + 2 > 8192) { return 0; }
+    int *blk = heap + brk_;
+    blk[0] = 0;
+    blk[1] = words;
+    brk_ += words + 2;
+    return blk + 2;
+}
+int free_(int p) {
+    if (p == 0) { return 0; }
+    int blk = p - 2;
+    int *b = blk;
+    b[0] = freelist;
+    freelist = blk;
+    return 1;
+}
+int mem_avail(void) { return 8192 - brk_; }
+`
+
+// srcMemfs is a tiny in-memory filesystem: fixed table of files, each a
+// name plus contents in allocator-provided storage.
+const srcMemfs = `
+struct file {
+    char name[16];
+    int used;
+    int size;
+    int data[64];
+};
+static struct file files[8];
+int strcmp_(char *a, char *b);
+int strcpy_(char *dst, char *src);
+void fs_init(void) {
+    for (int i = 0; i < 8; i++) {
+        files[i].used = 0;
+        files[i].size = 0;
+    }
+}
+int fs_open(char *name) {
+    for (int i = 0; i < 8; i++) {
+        if (files[i].used && !strcmp_(files[i].name, name)) {
+            return i;
+        }
+    }
+    for (int i = 0; i < 8; i++) {
+        if (!files[i].used) {
+            files[i].used = 1;
+            files[i].size = 0;
+            strcpy_(files[i].name, name);
+            return i;
+        }
+    }
+    return -1;
+}
+int fs_write(int fd, int word) {
+    if (fd < 0 || fd >= 8 || !files[fd].used) { return -1; }
+    if (files[fd].size >= 64) { return -1; }
+    files[fd].data[files[fd].size] = word;
+    files[fd].size++;
+    return 1;
+}
+int fs_read(int fd, int off) {
+    if (fd < 0 || fd >= 8 || !files[fd].used) { return -1; }
+    if (off < 0 || off >= files[fd].size) { return -1; }
+    return files[fd].data[off];
+}
+int fs_size(int fd) {
+    if (fd < 0 || fd >= 8 || !files[fd].used) { return -1; }
+    return files[fd].size;
+}
+int fs_close(int fd) { return 0; }
+`
+
+// srcSpinLock is a lock usable in any context (it never blocks): the
+// NoContext implementation in the §4 constraint example.
+const srcSpinLock = `
+static int held = 0;
+int lock_acquire(void) {
+    while (held) { }
+    held = 1;
+    return 1;
+}
+int lock_release(void) {
+    held = 0;
+    return 1;
+}
+`
+
+// srcBlockingLock requires a process context (it "blocks" by yielding to
+// a scheduler import in a real system; here the requirement lives in the
+// constraint annotation).
+const srcBlockingLock = `
+static int held = 0;
+static int waiters = 0;
+int lock_acquire(void) {
+    if (held) { waiters++; }
+    held = 1;
+    return 1;
+}
+int lock_release(void) {
+    held = 0;
+    return waiters;
+}
+`
+
+// srcClock is a tick counter with an initializer.
+const srcClock = `
+static int now = 0;
+void clock_init(void) { now = 1; }
+int clock_now(void) { return now; }
+int clock_tick(void) {
+    now++;
+    return now;
+}
+`
+
+// srcIrq is interrupt-path code: annotated NoContext, it must only call
+// NoContext imports.
+const srcIrq = `
+int lock_acquire(void);
+int lock_release(void);
+static int count = 0;
+int irq_handle(int vec) {
+    lock_acquire();
+    count++;
+    lock_release();
+    return count;
+}
+`
+
+// Sources returns the kit's virtual filesystem.
+func Sources() link.Sources {
+	return link.Sources{
+		"string.c":       srcString,
+		"console.c":      srcConsoleDev,
+		"serial.c":       srcSerialDev,
+		"printf.c":       srcPrintf,
+		"bumpalloc.c":    srcBumpAlloc,
+		"listalloc.c":    srcListAlloc,
+		"memfs.c":        srcMemfs,
+		"spinlock.c":     srcSpinLock,
+		"blockinglock.c": srcBlockingLock,
+		"clock.c":        srcClock,
+		"irq.c":          srcIrq,
+	}
+}

@@ -1,0 +1,383 @@
+package oskit
+
+import (
+	"fmt"
+	"strings"
+
+	"knit/internal/knit/link"
+)
+
+// UnitDefs is the unit-language description of the component kit: bundle
+// types, the §4 context property, one unit per component, and several
+// example kernels.
+const UnitDefs = `
+// ---- properties (paper §4) ----
+property context
+type NoContext
+type ProcessContext < NoContext
+
+// ---- bundle types ----
+bundletype Str     = { strlen_, strcmp_, strcpy_, memset_, memcpy_ }
+bundletype PutChar = { putchar_ }
+bundletype Printf  = { puts_, putint_, puthex_ }
+bundletype Malloc  = { malloc_, free_, mem_avail }
+bundletype Fs      = { fs_init2, fs_open, fs_write, fs_read, fs_size, fs_close }
+bundletype Lock    = { lock_acquire, lock_release }
+bundletype Clock   = { clock_now, clock_tick }
+bundletype Irq     = { irq_handle }
+bundletype Main    = { kmain }
+
+// ---- components ----
+unit StringU = {
+  exports [ str : Str ];
+  files { "string.c" };
+}
+
+unit ConsoleDev = {
+  exports [ out : PutChar ];
+  files { "console.c" };
+  constraints { context(out) = NoContext; };
+}
+
+unit SerialDev = {
+  exports [ out : PutChar ];
+  files { "serial.c" };
+  constraints { context(out) = NoContext; };
+}
+
+unit PrintfU = {
+  imports [ out : PutChar ];
+  exports [ pf : Printf ];
+  depends { pf needs out; };
+  files { "printf.c" };
+  constraints { context(exports) <= context(imports); };
+}
+
+unit BumpAlloc = {
+  exports [ mem : Malloc ];
+  initializer malloc_init for mem;
+  files { "bumpalloc.c" };
+}
+
+unit ListAlloc = {
+  exports [ mem : Malloc ];
+  initializer malloc_init for mem;
+  files { "listalloc.c" };
+}
+
+unit MemFs = {
+  imports [ str : Str ];
+  exports [ fs : Fs ];
+  initializer fs_init for fs;
+  depends {
+    fs needs str;
+    fs_init needs str;
+  };
+  files { "memfs.c" };
+  rename { fs.fs_init2 to fs_reset; };
+}
+
+unit SpinLock = {
+  exports [ lock : Lock ];
+  files { "spinlock.c" };
+  constraints { context(lock) = NoContext; };
+}
+
+unit BlockingLock = {
+  exports [ lock : Lock ];
+  files { "blockinglock.c" };
+  constraints { context(lock) = ProcessContext; };
+}
+
+unit ClockU = {
+  exports [ clk : Clock ];
+  initializer clock_init for clk;
+  files { "clock.c" };
+}
+
+unit IrqU = {
+  imports [ lock : Lock ];
+  exports [ irq : Irq ];
+  depends { irq needs lock; };
+  files { "irq.c" };
+  constraints {
+    context(irq) = NoContext;
+    context(exports) <= context(imports);
+  };
+}
+`
+
+// memfs needs a fs_reset definition to satisfy the fs bundle's fs_init2
+// symbol; extend the source with the exported reset entry point.
+const srcMemfsExtra = `
+int fs_reset(void) {
+    fs_init();
+    return 0;
+}
+`
+
+// kernelDefs declares the example kernels assembled from the components.
+const kernelDefs = `
+// ---- kernels ----
+
+unit HelloMain = {
+  imports [ pf : Printf ];
+  exports [ main : Main ];
+  depends { main needs pf; };
+  files { "hello_main.c" };
+}
+
+unit HelloKernel = {
+  exports [ main : Main ];
+  link {
+    [out] <- ConsoleDev <- [];
+    [pf] <- PrintfU <- [out];
+    [main] <- HelloMain <- [pf];
+  };
+}
+
+// RedirectMain uses two printf instances: application output and driver
+// (debug) output. Wiring decides where each goes — the §5 example of
+// redirecting device-driver printf without copy-and-paste tricks.
+unit RedirectMain = {
+  imports [ app : Printf, dbg : Printf ];
+  exports [ main : Main ];
+  depends { main needs (app + dbg); };
+  files { "redirect_main.c" };
+  rename {
+    app.puts_ to app_puts;
+    app.putint_ to app_putint;
+    app.puthex_ to app_puthex;
+    dbg.puts_ to dbg_puts;
+    dbg.putint_ to dbg_putint;
+    dbg.puthex_ to dbg_puthex;
+  };
+}
+
+unit RedirectKernel = {
+  exports [ main : Main ];
+  link {
+    [con] <- ConsoleDev <- [];
+    [ser] <- SerialDev <- [];
+    [apppf] <- PrintfU <- [con];
+    [dbgpf] <- PrintfU <- [ser];
+    [main] <- RedirectMain <- [apppf, dbgpf];
+  };
+}
+
+// FsMain exercises a deep component stack per operation: main -> fs ->
+// str, and main -> printf -> console. This is the unit-boundary-heavy
+// program of the §6 micro-benchmark.
+unit FsMain = {
+  imports [ fs : Fs, pf : Printf, mem : Malloc, clk : Clock ];
+  exports [ main : Main ];
+  depends { main needs (fs + pf + mem + clk); };
+  files { "fs_main.c" };
+}
+
+unit FsKernel = {
+  exports [ main : Main ];
+  link {
+    [str] <- StringU <- [];
+    [out] <- ConsoleDev <- [];
+    [pf] <- PrintfU <- [out];
+    [mem] <- BumpAlloc <- [];
+    [clk] <- ClockU <- [];
+    [fs] <- MemFs <- [str];
+    [main] <- FsMain <- [fs, pf, mem, clk];
+  };
+}
+
+// FsKernelListAlloc swaps the allocator implementation — a one-line
+// configuration change.
+unit FsKernelListAlloc = {
+  exports [ main : Main ];
+  link {
+    [str] <- StringU <- [];
+    [out] <- ConsoleDev <- [];
+    [pf] <- PrintfU <- [out];
+    [mem] <- ListAlloc <- [];
+    [clk] <- ClockU <- [];
+    [fs] <- MemFs <- [str];
+    [main] <- FsMain <- [fs, pf, mem, clk];
+  };
+}
+
+// SafeIrqKernel composes the interrupt path with the spinning lock; it
+// passes the constraint check.
+unit SafeIrqKernel = {
+  exports [ irq : Irq ];
+  link {
+    [lock] <- SpinLock <- [];
+    [irq] <- IrqU <- [lock];
+  };
+}
+
+// BadIrqKernel composes it with the blocking lock; the constraint
+// checker must reject it.
+unit BadIrqKernel = {
+  exports [ irq : Irq ];
+  link {
+    [lock] <- BlockingLock <- [];
+    [irq] <- IrqU <- [lock];
+  };
+}
+`
+
+const srcHelloMain = `
+int puts_(char *s);
+int putint_(int v);
+int kmain(int arg) {
+    puts_("hello from the oskit: ");
+    putint_(arg);
+    puts_("\n");
+    return arg * 2;
+}
+`
+
+const srcRedirectMain = `
+int app_puts(char *s);
+int dbg_puts(char *s);
+int kmain(int arg) {
+    app_puts("app output");
+    dbg_puts("driver debug");
+    return 0;
+}
+`
+
+const srcFsMain = `
+int fs_init2(void);
+int fs_open(char *name);
+int fs_write(int fd, int w);
+int fs_read(int fd, int off);
+int fs_size(int fd);
+int fs_close(int fd);
+int puts_(char *s);
+int putint_(int v);
+int malloc_(int n);
+int free_(int p);
+int clock_tick(void);
+extern int __tick_enter(void);
+extern int __tick_exit(void);
+
+// One "transaction": open a file, append, read everything back,
+// crossing main -> fs -> str and main -> printf -> console unit
+// boundaries many times.
+int transact(int i) {
+    int fd = fs_open(i % 2 == 0 ? "alpha" : "beta");
+    if (fd < 0) { return -1; }
+    if (fs_size(fd) >= 60) { fs_init2(); fd = fs_open("alpha"); }
+    fs_write(fd, i);
+    int sum = 0;
+    int n = fs_size(fd);
+    for (int j = 0; j < n; j++) {
+        sum += fs_read(fd, j);
+    }
+    int *scratch = malloc_(4);
+    if (scratch != 0) {
+        scratch[0] = sum;
+        sum = scratch[0];
+        free_(scratch);
+    }
+    clock_tick();
+    fs_close(fd);
+    return sum;
+}
+int kmain(int iters) {
+    int total = 0;
+    __tick_enter();
+    for (int i = 0; i < iters; i++) {
+        total += transact(i);
+    }
+    __tick_exit();
+    puts_("total=");
+    putint_(total);
+    puts_("\n");
+    return total;
+}
+`
+
+// Units returns the complete unit-language source for the kit and its
+// kernels.
+func Units() string { return UnitDefs + kernelDefs + ExtraUnitDefs + DeferredUnitDefs }
+
+// KernelSources returns the kit's sources including kernel mains.
+func KernelSources() link.Sources {
+	s := Sources()
+	s["memfs.c"] = s["memfs.c"] + srcMemfsExtra
+	s["hello_main.c"] = srcHelloMain
+	s["redirect_main.c"] = srcRedirectMain
+	s["fs_main.c"] = srcFsMain
+	for k, v := range ExtraSources() {
+		s[k] = v
+	}
+	return s
+}
+
+// CensusKernel generates a ~n-unit kernel for the §5 constraint census:
+// a chain of components where `annotated` of them carry context
+// constraints and, of those, all but the endpoints are pure propagation
+// ("context(exports) <= context(imports)" — the 70% case).
+func CensusKernel(n, annotated int) (units string, sources link.Sources, top string) {
+	if annotated > n {
+		annotated = n
+	}
+	var b strings.Builder
+	sources = link.Sources{}
+	b.WriteString("property context\ntype NoContext\ntype ProcessContext < NoContext\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "bundletype S%d = { f%d }\n", i, i)
+	}
+	// Unit i imports from unit i+1; the last is a leaf. Annotations go on
+	// the first `annotated` units: the leaf-most annotated unit pins a
+	// value; the rest propagate.
+	for i := 0; i < n; i++ {
+		var imports, depends, constraints string
+		if i < n-1 {
+			imports = fmt.Sprintf("imports [ below : S%d ];", i+1)
+			depends = fmt.Sprintf("depends { e needs below; };")
+		}
+		if i < annotated {
+			if i == annotated-1 || i == n-1 {
+				// The deepest annotated component pins a concrete value;
+				// everything above merely propagates. (ProcessContext is
+				// below NoContext, so propagation keeps the whole chain at
+				// ProcessContext.)
+				constraints = "constraints { context(e) = ProcessContext; };"
+			} else {
+				constraints = "constraints { context(exports) <= context(imports); };"
+			}
+		}
+		fmt.Fprintf(&b, `
+unit C%d = {
+  %s
+  exports [ e : S%d ];
+  %s
+  %s
+  files { "c%d.c" };
+}
+`, i, imports, i, depends, constraints, i)
+		var src strings.Builder
+		if i < n-1 {
+			fmt.Fprintf(&src, "int f%d(void);\n", i+1)
+			fmt.Fprintf(&src, "int f%d(void) { return f%d() + 1; }\n", i, i+1)
+		} else {
+			fmt.Fprintf(&src, "int f%d(void) { return 0; }\n", i)
+		}
+		sources[fmt.Sprintf("c%d.c", i)] = src.String()
+	}
+	b.WriteString("\nunit Census = {\n  exports [ e : S0 ];\n  link {\n")
+	for i := n - 1; i >= 0; i-- {
+		if i < n-1 {
+			fmt.Fprintf(&b, "    [e%d] <- C%d <- [e%d];\n", i, i, i+1)
+		} else {
+			fmt.Fprintf(&b, "    [e%d] <- C%d <- [];\n", i, i)
+		}
+	}
+	b.WriteString("    };\n}\n")
+	// Fix export binding: the compound exports e, bound to e0.
+	s := b.String()
+	s = strings.Replace(s, "unit Census = {\n  exports [ e : S0 ];",
+		"unit Census = {\n  exports [ e0 : S0 ];", 1)
+	return s, sources, "Census"
+}
