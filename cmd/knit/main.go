@@ -16,9 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"knit/internal/asm"
 	"knit/internal/knit/build"
@@ -36,6 +38,7 @@ func main() {
 		optimize = flag.Bool("O", false, "enable the optimizer")
 		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
 		schedule = flag.Bool("schedule", false, "print the initializer/finalizer schedule")
+		showTime = flag.Bool("time", false, "print the per-phase build-time breakdown")
 		dumpFlat = flag.Bool("dump-flat", false, "print the flattened merged source and exit")
 		dumpAsm  = flag.Bool("dump-asm", false, "print the linked program as assembly and exit")
 	)
@@ -93,6 +96,9 @@ func main() {
 		fmt.Printf("knit: constraints OK (%d variables, %d relations)\n",
 			res.ConstraintReport.Vars, res.ConstraintReport.Relations)
 	}
+	if *showTime {
+		printTimings(os.Stdout, res.Timings)
+	}
 	if *schedule {
 		fmt.Println("init order:")
 		for i, name := range res.Schedule.Inits {
@@ -126,6 +132,22 @@ func main() {
 		}
 		fmt.Printf("%s(%d) = %d   [%d cycles, %d instructions]\n",
 			*run, *arg, v, m.Cycles, m.Executed)
+	}
+}
+
+// printTimings renders the per-phase build-time breakdown (§6), one
+// phase per line with its share of the total.
+func printTimings(w io.Writer, t build.Timings) {
+	total := t.Total()
+	fmt.Fprintf(w, "build time %v (knit-proper %v, compiler+loader %v):\n",
+		total.Round(time.Microsecond), t.KnitProper().Round(time.Microsecond),
+		t.CompilerAndLoader().Round(time.Microsecond))
+	for _, p := range t.Phases() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(p.D) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-9s %10v  %5.1f%%\n", p.Name, p.D.Round(time.Microsecond), pct)
 	}
 }
 

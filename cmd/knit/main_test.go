@@ -69,4 +69,15 @@ func TestCLIEndToEnd(t *testing.T) {
 		!strings.HasSuffix(out, "<eof>") {
 		t.Errorf("console = %q", out)
 	}
+
+	// The -time breakdown renders every phase with its share.
+	var b strings.Builder
+	printTimings(&b, res.Timings)
+	rendered := b.String()
+	for _, phase := range []string{"parse", "elaborate", "check", "schedule",
+		"flatten", "compile", "link", "load", "knit-proper"} {
+		if !strings.Contains(rendered, phase) {
+			t.Errorf("printTimings output missing %q:\n%s", phase, rendered)
+		}
+	}
 }

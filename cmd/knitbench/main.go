@@ -196,6 +196,7 @@ func runBuildTime() {
 	const rounds = 10
 	// Compiler/loader share, on a code-heavy build (the Clack router).
 	var knitR, totalR time.Duration
+	var sum build.Timings
 	for i := 0; i < rounds; i++ {
 		res, err := clack.BuildRouter(clack.Variant{})
 		if err != nil {
@@ -203,6 +204,19 @@ func runBuildTime() {
 		}
 		knitR += res.Timings.KnitProper()
 		totalR += res.Timings.Total()
+		sum.Parse += res.Timings.Parse
+		sum.Elaborate += res.Timings.Elaborate
+		sum.Check += res.Timings.Check
+		sum.Schedule += res.Timings.Schedule
+		sum.Flatten += res.Timings.Flatten
+		sum.Compile += res.Timings.Compile
+		sum.Link += res.Timings.Link
+		sum.Load += res.Timings.Load
+	}
+	fmt.Println("   (clack router) per-phase, averaged over", rounds, "builds:")
+	for _, p := range sum.Phases() {
+		fmt.Printf("      %-9s %10v  %5.1f%%\n", p.Name, (p.D / rounds).Round(time.Microsecond),
+			100*float64(p.D)/float64(sum.Total()))
 	}
 	frac := 100 * float64(totalR-knitR) / float64(totalR)
 	fmt.Printf("   (clack router) compiler+loader: %.1f%% of build time\n", frac)

@@ -1,0 +1,272 @@
+// Package build is the end-to-end Knit pipeline driver: it sequences
+// unit-file parsing, hierarchical linking, constraint checking,
+// initializer scheduling, optional cross-component flattening,
+// compilation, image linking, and machine loading — the "parse -> link ->
+// check -> schedule -> compile -> image" chain every tool and example in
+// this repository drives (paper §2.3, §3.2, §4, §6).
+//
+// Build is deterministic: the same Options produce the same Program,
+// Schedule, Object, and Image. Each phase's wall time is recorded in
+// Result.Timings, which reproduces the paper's §6 build-time breakdown
+// (most time in the compiler and loader, constraint checking a
+// significant multiplier on Knit-proper time).
+package build
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"knit/internal/cmini"
+	"knit/internal/compile"
+	"knit/internal/knit/constraint"
+	"knit/internal/knit/flatten"
+	"knit/internal/knit/lang"
+	"knit/internal/knit/link"
+	"knit/internal/knit/sched"
+	"knit/internal/ldlink"
+	"knit/internal/machine"
+	"knit/internal/obj"
+)
+
+// Options selects what to build and how.
+type Options struct {
+	// Top is the unit to elaborate; it must export everything the caller
+	// wants to run and have no unsatisfied imports.
+	Top string
+	// UnitFiles maps unit-definition file names to their text. Files are
+	// parsed in sorted name order, so a build is independent of map
+	// iteration order.
+	UnitFiles map[string]string
+	// Sources is the virtual filesystem for the files{} sections of
+	// atomic units: file name -> cmini (or, for ".s" names, assembly)
+	// source text.
+	Sources link.Sources
+	// Check runs the §4 constraint checker after linking; a violation
+	// aborts the build. When false, Result.ConstraintReport is nil and
+	// even ill-constrained configurations build (the paper's checks are
+	// opt-in per build).
+	Check bool
+	// Optimize enables the compiler's -O passes (constant folding, CSE,
+	// dead code, intra-file inlining).
+	Optimize bool
+	// Flatten merges unit sources into one compilation unit before
+	// compiling, so the intra-file optimizer can work across component
+	// boundaries (§6). Assembly files are never flattened; they always
+	// link as renamed objects.
+	Flatten bool
+	// FlattenFilter, when non-nil, limits flattening to instances for
+	// which it returns true; the rest compile separately. Nil flattens
+	// every instance. Ignored unless Flatten is set ("flatten only the
+	// router rather than the entire kernel").
+	FlattenFilter func(*link.Instance) bool
+	// InlineLimit is the optimizer's maximum callee size in IR
+	// instructions (0 = default, negative disables inlining).
+	InlineLimit int
+	// GrowthLimit caps a function's post-inlining size (0 = default).
+	GrowthLimit int
+	// DisableCSE turns off value numbering, for ablation studies.
+	DisableCSE bool
+	// Costs is the simulated machine's cost model; the zero value means
+	// machine.DefaultCosts().
+	Costs machine.Costs
+}
+
+// compileOptions derives the compiler configuration from build options.
+func (o *Options) compileOptions() compile.Options {
+	return compile.Options{
+		Opt:         o.Optimize,
+		InlineLimit: o.InlineLimit,
+		GrowthLimit: o.GrowthLimit,
+		DisableCSE:  o.DisableCSE,
+	}
+}
+
+// Build runs the full pipeline and returns the built system.
+func Build(opts Options) (*Result, error) {
+	if opts.Top == "" {
+		return nil, fmt.Errorf("knit: build needs a top unit")
+	}
+	if len(opts.UnitFiles) == 0 {
+		return nil, fmt.Errorf("knit: build needs at least one unit file")
+	}
+	res := &Result{copts: opts.compileOptions()}
+
+	// Parse the unit-definition files.
+	start := time.Now()
+	files, err := parseUnitFiles(opts.UnitFiles)
+	res.Timings.Parse = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	// Elaborate the linking graph into a flat instance set.
+	start = time.Now()
+	reg, err := link.NewRegistry(files...)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := link.Elaborate(reg, opts.Top, opts.Sources)
+	res.Timings.Elaborate = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res.Program = prog
+
+	// Constraint fixpoint (§4), on request.
+	if opts.Check {
+		start = time.Now()
+		report, err := constraint.Check(prog)
+		res.Timings.Check = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		res.ConstraintReport = report
+	}
+
+	// Initializer/finalizer schedule (§3.2).
+	start = time.Now()
+	schedule, err := sched.Compute(prog)
+	res.Timings.Schedule = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res.Schedule = schedule
+
+	// Optional flattening (§6): merge the chosen region's sources.
+	instances := prog.SortedInstances()
+	var merged *cmini.File
+	var modular []*link.Instance
+	if opts.Flatten {
+		start = time.Now()
+		var region []*link.Instance
+		for _, inst := range instances {
+			if opts.FlattenFilter == nil || opts.FlattenFilter(inst) {
+				region = append(region, inst)
+			} else {
+				modular = append(modular, inst)
+			}
+		}
+		if len(region) > 0 {
+			merged, err = flatten.Merge("flattened.c", region)
+		}
+		res.Timings.Flatten = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		modular = instances
+	}
+
+	// Compile: one translation unit per source file — or one big one for
+	// the flattened region — so optimization crosses component boundaries
+	// exactly when flattening says it may.
+	start = time.Now()
+	var items []ldlink.Item
+	if merged != nil {
+		o, err := compile.Compile(merged, res.copts)
+		if err != nil {
+			res.Timings.Compile = time.Since(start)
+			return nil, err
+		}
+		items = append(items, ldlink.Obj(o))
+	}
+	for _, inst := range modular {
+		for _, f := range inst.Files {
+			o, err := compile.Compile(f, res.copts)
+			if err != nil {
+				res.Timings.Compile = time.Since(start)
+				return nil, fmt.Errorf("%s: %w", inst.Path, err)
+			}
+			items = append(items, ldlink.Obj(o))
+		}
+	}
+	// Assembly objects link as-is for every instance, flattened or not.
+	for _, inst := range instances {
+		for _, o := range inst.Objects {
+			items = append(items, ldlink.Obj(o))
+		}
+	}
+	res.Timings.Compile = time.Since(start)
+
+	// Link the image. Instance renaming made all globals unique, so only
+	// ambient device symbols may remain undefined.
+	start = time.Now()
+	object, err := ldlink.Link(items, ldlink.Options{
+		AllowUndefined: []string{link.AmbientPrefix + "*"},
+	})
+	res.Timings.Link = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res.Object = object
+
+	// Load: place data and text, resolve addresses, fix the cost model.
+	start = time.Now()
+	costs := opts.Costs
+	if costs == (machine.Costs{}) {
+		costs = machine.DefaultCosts()
+	}
+	img, err := machine.Load(object, costs)
+	res.Timings.Load = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res.Image = img
+	return res, nil
+}
+
+// parseUnitFiles parses every unit file in deterministic (sorted-name)
+// order.
+func parseUnitFiles(unitFiles map[string]string) ([]*lang.File, error) {
+	names := make([]string, 0, len(unitFiles))
+	for name := range unitFiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*lang.File, 0, len(names))
+	for _, name := range names {
+		f, err := lang.Parse(name, unitFiles[name])
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// SourceOf merges the (already instance-renamed) cmini sources of the
+// program's instances — all of them, or those passing filter — into one
+// flattened translation unit and returns it as source text. It is the
+// "-dump-flat" view: what the compiler would see under Options.Flatten.
+func SourceOf(prog *link.Program, filter func(*link.Instance) bool) (string, error) {
+	var region []*link.Instance
+	for _, inst := range prog.SortedInstances() {
+		if filter == nil || filter(inst) {
+			region = append(region, inst)
+		}
+	}
+	merged, err := flatten.Merge("flattened.c", region)
+	if err != nil {
+		return "", err
+	}
+	return cmini.Print(merged), nil
+}
+
+// compileInstance compiles one instance's C files into a single object
+// (assembly objects are appended as-is) — the unit of code a dynamic
+// load ships to the machine.
+func compileInstance(inst *link.Instance, copts compile.Options) (*obj.File, error) {
+	out := obj.NewFile(inst.Path)
+	for _, f := range inst.Files {
+		o, err := compile.Compile(f, copts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", inst.Path, err)
+		}
+		obj.Append(out, o)
+	}
+	for _, o := range inst.Objects {
+		obj.Append(out, o.Clone())
+	}
+	return out, nil
+}

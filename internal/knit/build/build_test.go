@@ -1,0 +1,323 @@
+package build
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/machine"
+)
+
+// logServeUnits is the paper's running example (Figures 2-6): a web
+// server wired to file/CGI handlers, wrapped by a logging unit, composed
+// in the compound unit LogServe.
+const logServeUnits = `
+bundletype Serve = { serve_web }
+bundletype Stdio = { fopen, fprintf }
+bundletype Main  = { run }
+
+unit ServeFile = {
+  exports [ serveFile : Serve ];
+  files { "serve_file.c" };
+  rename { serveFile.serve_web to serve_file; };
+}
+unit ServeCGI = {
+  exports [ serveCGI : Serve ];
+  files { "serve_cgi.c" };
+  rename { serveCGI.serve_web to serve_cgi; };
+}
+unit StdioUnit = {
+  exports [ stdio : Stdio ];
+  initializer stdio_init for stdio;
+  files { "stdio.c" };
+}
+unit Web = {
+  imports [ serveFile : Serve, serveCGI : Serve ];
+  exports [ serveWeb : Serve ];
+  depends { serveWeb needs (serveFile + serveCGI); };
+  files { "web.c" };
+  rename {
+    serveFile.serve_web to serve_file;
+    serveCGI.serve_web to serve_cgi;
+  };
+}
+unit Log = {
+  imports [ serveWeb : Serve, stdio : Stdio ];
+  exports [ serveLog : Serve ];
+  initializer open_log for serveLog;
+  finalizer close_log for serveLog;
+  depends {
+    (open_log + close_log) needs stdio;
+    serveLog needs (serveWeb + stdio);
+  };
+  files { "log.c" };
+  rename {
+    serveWeb.serve_web to serve_unlogged;
+    serveLog.serve_web to serve_logged;
+  };
+}
+unit Driver = {
+  imports [ serve : Serve ];
+  exports [ main : Main ];
+  depends { main needs serve; };
+  files { "driver.c" };
+}
+unit LogServe = {
+  exports [ main : Main ];
+  link {
+    [serveFile] <- ServeFile <- [];
+    [serveCGI] <- ServeCGI <- [];
+    [stdio] <- StdioUnit <- [];
+    [serveWeb] <- Web <- [serveFile, serveCGI];
+    [serveLog] <- Log <- [serveWeb, stdio];
+    [main] <- Driver <- [serveLog];
+  };
+}
+`
+
+var logServeSources = map[string]string{
+	"serve_file.c": `
+extern int __console_out(int c);
+int serve_file(int s, char *path) {
+    int i = 0;
+    while (path[i] != 0) { __console_out(path[i]); i++; }
+    return 200;
+}
+`,
+	"serve_cgi.c": `
+int serve_cgi(int s, char *path) { return 201; }
+`,
+	"stdio.c": `
+extern int __console_out(int c);
+static int ready = 0;
+void stdio_init(void) { ready = 1; }
+int fopen(char *name, char *mode) { return ready ? 3 : -1; }
+int fprintf(int f, char *s) {
+    int i = 0;
+    while (s[i] != 0) { __console_out(s[i]); i++; }
+    return i;
+}
+`,
+	"web.c": `
+int serve_file(int s, char *path);
+int serve_cgi(int s, char *path);
+static int strncmp_(char *a, char *b, int n) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] != b[i]) { return a[i] - b[i]; }
+        if (a[i] == 0) { return 0; }
+    }
+    return 0;
+}
+int serve_web(int s, char *path) {
+    if (!strncmp_(path, "/cgi-bin/", 9)) {
+        return serve_cgi(s, path + 9);
+    }
+    return serve_file(s, path);
+}
+`,
+	"log.c": `
+int serve_unlogged(int s, char *path);
+int fopen(char *name, char *mode);
+int fprintf(int f, char *s);
+static int log_;
+void open_log(void) { log_ = fopen("ServerLog", "a"); }
+void close_log(void) { fprintf(log_, "<closed>"); }
+int serve_logged(int s, char *path) {
+    int r;
+    r = serve_unlogged(s, path);
+    fprintf(log_, " log:");
+    fprintf(log_, path);
+    return r;
+}
+`,
+	"driver.c": `
+int serve_web(int s, char *path);
+int run(int which) {
+    if (which) { return serve_web(1, "/cgi-bin/form"); }
+    return serve_web(1, "/index.html");
+}
+`,
+}
+
+func logServeOptions() Options {
+	return Options{
+		Top:       "LogServe",
+		UnitFiles: map[string]string{"web.unit": logServeUnits},
+		Sources:   logServeSources,
+		Check:     true,
+	}
+}
+
+// indexWithPrefix finds the schedule entry whose global name starts with
+// the given initializer name (instance renaming appends __k<ID>).
+func indexWithPrefix(names []string, prefix string) int {
+	for i, n := range names {
+		if strings.HasPrefix(n, prefix) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestPaperExampleLogServe drives the Figs. 2-6 compound through the
+// whole pipeline: open_log must be scheduled after its stdio dependency
+// and before serveLog runs, and the close_log finalizer must run after
+// the entry returns.
+func TestPaperExampleLogServe(t *testing.T) {
+	res, err := Build(logServeOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if res.ConstraintReport == nil {
+		t.Error("Check was on but ConstraintReport is nil")
+	}
+	if len(res.Program.Instances) != 6 {
+		t.Errorf("got %d instances, want 6", len(res.Program.Instances))
+	}
+
+	si := indexWithPrefix(res.Schedule.Inits, "stdio_init")
+	oi := indexWithPrefix(res.Schedule.Inits, "open_log")
+	if si < 0 || oi < 0 {
+		t.Fatalf("schedule %v missing stdio_init or open_log", res.Schedule.Inits)
+	}
+	if si > oi {
+		t.Errorf("stdio_init scheduled at %d after open_log at %d: %v", si, oi, res.Schedule.Inits)
+	}
+	if indexWithPrefix(res.Schedule.Fins, "close_log") < 0 {
+		t.Errorf("finalizers %v missing close_log", res.Schedule.Fins)
+	}
+
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	status, err := res.Run(m, "main", "run", 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if status != 200 {
+		t.Errorf("run(0) = %d, want 200", status)
+	}
+	out := con.String()
+	// open_log ran before serve_logged: fopen succeeded (stdio_init first),
+	// so the log lines made it to the console.
+	if !strings.Contains(out, "/index.html log:/index.html") {
+		t.Errorf("console %q missing request + log line", out)
+	}
+	// close_log runs after the entry returns, so the console ends with it.
+	if !strings.HasSuffix(out, "<closed>") {
+		t.Errorf("console %q does not end with the finalizer output", out)
+	}
+}
+
+// TestRunLifecyclePerMachine checks that initializers and finalizers run
+// exactly once per machine, even across repeated Run calls, and that a
+// fresh machine gets a fresh lifecycle.
+func TestRunLifecyclePerMachine(t *testing.T) {
+	res, err := Build(logServeOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := res.NewMachine()
+	con := machine.InstallConsole(m)
+	if _, err := res.Run(m, "main", "run", 0); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := res.Run(m, "main", "run", 1); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if got := strings.Count(con.String(), "<closed>"); got != 1 {
+		t.Errorf("finalizer ran %d times on one machine, want 1", got)
+	}
+	m2 := res.NewMachine()
+	con2 := machine.InstallConsole(m2)
+	if _, err := res.Run(m2, "main", "run", 0); err != nil {
+		t.Fatalf("Run on fresh machine: %v", err)
+	}
+	if got := strings.Count(con2.String(), "<closed>"); got != 1 {
+		t.Errorf("finalizer ran %d times on fresh machine, want 1", got)
+	}
+}
+
+// TestFlattenEquivalence checks that a flattened build produces the same
+// observable behavior as the modular one.
+func TestFlattenEquivalence(t *testing.T) {
+	run := func(opts Options) (int64, string) {
+		t.Helper()
+		res, err := Build(opts)
+		if err != nil {
+			t.Fatalf("Build(flatten=%v): %v", opts.Flatten, err)
+		}
+		m := res.NewMachine()
+		con := machine.InstallConsole(m)
+		v, err := res.Run(m, "main", "run", 1)
+		if err != nil {
+			t.Fatalf("Run(flatten=%v): %v", opts.Flatten, err)
+		}
+		return v, con.String()
+	}
+	opts := logServeOptions()
+	opts.Optimize = true
+	v1, out1 := run(opts)
+	opts.Flatten = true
+	v2, out2 := run(opts)
+	if v1 != v2 || out1 != out2 {
+		t.Errorf("modular (%d, %q) != flattened (%d, %q)", v1, out1, v2, out2)
+	}
+	if v1 != 201 {
+		t.Errorf("run(1) = %d, want 201 (CGI handler)", v1)
+	}
+}
+
+// TestTimingsRecorded checks the per-phase observability: active phases
+// record time, inactive ones stay zero, and the aggregates add up.
+func TestTimingsRecorded(t *testing.T) {
+	res, err := Build(logServeOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	tm := res.Timings
+	if tm.Parse <= 0 || tm.Elaborate <= 0 || tm.Check <= 0 || tm.Compile <= 0 || tm.Load <= 0 {
+		t.Errorf("expected nonzero phase timings, got %+v", tm)
+	}
+	if tm.Flatten != 0 {
+		t.Errorf("Flatten was off but recorded %v", tm.Flatten)
+	}
+	if tm.KnitProper()+tm.CompilerAndLoader() != tm.Total() {
+		t.Errorf("KnitProper %v + CompilerAndLoader %v != Total %v",
+			tm.KnitProper(), tm.CompilerAndLoader(), tm.Total())
+	}
+	opts := logServeOptions()
+	opts.Check = false
+	res2, err := Build(opts)
+	if err != nil {
+		t.Fatalf("Build without check: %v", err)
+	}
+	if res2.Timings.Check != 0 {
+		t.Errorf("Check was off but recorded %v", res2.Timings.Check)
+	}
+	if res2.ConstraintReport != nil {
+		t.Error("Check was off but ConstraintReport is non-nil")
+	}
+	if len(tm.Phases()) != 8 {
+		t.Errorf("Phases() has %d entries, want 8", len(tm.Phases()))
+	}
+	if s := tm.String(); !strings.Contains(s, "compile") || !strings.Contains(s, "%") {
+		t.Errorf("String() = %q, want per-phase percentages", s)
+	}
+}
+
+// TestSourceOf checks the flattened-source dump: all instances merge into
+// one translation unit with instance-renamed definitions.
+func TestSourceOf(t *testing.T) {
+	res, err := Build(logServeOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	src, err := SourceOf(res.Program, nil)
+	if err != nil {
+		t.Fatalf("SourceOf: %v", err)
+	}
+	for _, want := range []string{"serve_logged__k", "serve_file__k", "stdio_init__k"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("flattened source missing %s", want)
+		}
+	}
+}

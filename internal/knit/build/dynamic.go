@@ -1,0 +1,177 @@
+package build
+
+import (
+	"fmt"
+
+	"knit/internal/knit/constraint"
+	"knit/internal/knit/lang"
+	"knit/internal/knit/link"
+	"knit/internal/machine"
+)
+
+// DynamicUnit describes a module to link into a running machine — the
+// paper's §8 dynamic-linking extension. The unit must be atomic; its
+// imports are wired, by Wiring, to top-level exports of the base program
+// (or of previously loaded modules on the same machine).
+type DynamicUnit struct {
+	// Unit names the atomic unit to instantiate.
+	Unit string
+	// UnitFiles holds additional unit-definition files; they extend the
+	// base build's registry and may not redefine its declarations.
+	UnitFiles map[string]string
+	// Sources is the virtual filesystem for the unit's files{} section.
+	Sources link.Sources
+	// Wiring maps the unit's import locals to export names visible on the
+	// machine.
+	Wiring map[string]string
+	// Check re-runs the constraint checker over the whole live
+	// configuration — base program plus every module already loaded on
+	// this machine plus the new one — and rejects the load on a
+	// violation, before any code reaches the machine.
+	Check bool
+}
+
+// LoadedUnit is a successfully loaded dynamic module.
+type LoadedUnit struct {
+	Instance *link.Instance
+}
+
+// ExportSymbol resolves one of the module's export bundle symbols to its
+// global name, suitable for machine.M.Run.
+func (lu *LoadedUnit) ExportSymbol(bundle, sym string) (string, error) {
+	name, ok := lu.Instance.ExportSyms[bundle][sym]
+	if !ok {
+		return "", fmt.Errorf("knit: dynamic unit %s: bundle %q has no symbol %q",
+			lu.Instance.Unit.Name, bundle, sym)
+	}
+	return name, nil
+}
+
+// LoadDynamic elaborates du.Unit against the live machine m, re-checks
+// constraints at the dynamic boundary when du.Check is set, compiles the
+// instance, loads it into m, and runs its initializers. On any error —
+// including a constraint violation — nothing is loaded and the machine
+// is unchanged. Finalizers of dynamic modules are not scheduled; a
+// loaded module lives as long as its machine.
+func (r *Result) LoadDynamic(m *machine.M, du DynamicUnit) (*LoadedUnit, error) {
+	st := r.stateOf(m)
+
+	files, err := parseUnitFiles(du.UnitFiles)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := mergeRegistry(r.Program.Registry, files)
+	if err != nil {
+		return nil, err
+	}
+
+	// The elaboration base is the static program plus this machine's
+	// previously loaded modules: their instances (so fresh instance IDs
+	// stay unique) and their exports (so modules can wire to modules).
+	base := &link.Program{
+		Registry:  reg,
+		Top:       r.Program.Top,
+		Instances: r.Program.Instances,
+		Exports:   map[string]*link.Wire{},
+	}
+	for name, w := range r.Program.Exports {
+		base.Exports[name] = w
+	}
+	for _, prev := range st.loaded {
+		base.Instances = append(base.Instances, prev)
+		for name, w := range link.DynamicExports(prev) {
+			base.Exports[name] = w
+		}
+	}
+
+	inst, err := link.ElaborateDynamic(reg, base, du.Unit, du.Sources, du.Wiring)
+	if err != nil {
+		return nil, err
+	}
+
+	// Constraint check over the whole live configuration, before any of
+	// the module's code is compiled or loaded.
+	if du.Check {
+		combined := &link.Program{
+			Registry:  reg,
+			Top:       base.Top,
+			Instances: append(append([]*link.Instance{}, base.Instances...), inst),
+			Exports:   base.Exports,
+		}
+		if _, err := constraint.Check(combined); err != nil {
+			return nil, fmt.Errorf("knit: dynamic unit %s rejected: %w", du.Unit, err)
+		}
+	}
+
+	o, err := compileInstance(inst, r.copts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadDynamic(o); err != nil {
+		return nil, err
+	}
+	for _, ini := range inst.Inits {
+		if ini.Finalizer {
+			continue
+		}
+		if _, err := m.Run(ini.GlobalName); err != nil {
+			return nil, fmt.Errorf("knit: dynamic unit %s: initializer %s: %w",
+				du.Unit, ini.Func, err)
+		}
+	}
+
+	st.loaded = append(st.loaded, inst)
+	return &LoadedUnit{Instance: inst}, nil
+}
+
+// mergeRegistry extends a base registry with newly parsed unit files,
+// rejecting redefinitions of anything the base already declares.
+func mergeRegistry(base *link.Registry, files []*lang.File) (*link.Registry, error) {
+	add, err := link.NewRegistry(files...)
+	if err != nil {
+		return nil, err
+	}
+	out := &link.Registry{
+		BundleTypes: map[string]*lang.BundleType{},
+		FlagSets:    map[string]*lang.FlagSet{},
+		Properties:  map[string]*lang.Property{},
+		Units:       map[string]*lang.Unit{},
+	}
+	for k, v := range base.BundleTypes {
+		out.BundleTypes[k] = v
+	}
+	for k, v := range base.FlagSets {
+		out.FlagSets[k] = v
+	}
+	for k, v := range base.Properties {
+		out.Properties[k] = v
+	}
+	for k, v := range base.Units {
+		out.Units[k] = v
+	}
+	for k, v := range add.BundleTypes {
+		if _, dup := out.BundleTypes[k]; dup {
+			return nil, fmt.Errorf("knit: dynamic unit files redefine bundletype %q", k)
+		}
+		out.BundleTypes[k] = v
+	}
+	for k, v := range add.FlagSets {
+		if _, dup := out.FlagSets[k]; dup {
+			return nil, fmt.Errorf("knit: dynamic unit files redefine flags %q", k)
+		}
+		out.FlagSets[k] = v
+	}
+	for k, v := range add.Properties {
+		if _, dup := out.Properties[k]; dup {
+			return nil, fmt.Errorf("knit: dynamic unit files redefine property %q", k)
+		}
+		out.Properties[k] = v
+	}
+	for k, v := range add.Units {
+		if _, dup := out.Units[k]; dup {
+			return nil, fmt.Errorf("knit: dynamic unit files redefine unit %q", k)
+		}
+		out.Units[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package build
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/knit/link"
+)
+
+// The dynamic-boundary fixture: a base kernel with a counter service and
+// a blocking lock whose context property records that it may only be
+// used from process context (paper §4, §8).
+const dynBaseUnits = `
+property context
+type NoContext
+type ProcessContext < NoContext
+
+bundletype Count = { bump, current }
+bundletype Lock  = { lock_acquire, lock_release }
+
+unit Counter = {
+  exports [ count : Count ];
+  initializer count_init for count;
+  files { "counter.c" };
+}
+unit BlockingLock = {
+  exports [ lock : Lock ];
+  files { "lock.c" };
+  constraints { context(lock) = ProcessContext; };
+}
+unit Base = {
+  exports [ count : Count, lock : Lock ];
+  link {
+    [count] <- Counter <- [];
+    [lock] <- BlockingLock <- [];
+  };
+}
+`
+
+var dynBaseSources = link.Sources{
+	"counter.c": `
+static int n;
+void count_init(void) { n = 1000; }
+int bump(void) { n++; return n; }
+int current(void) { return n; }
+`,
+	"lock.c": `
+static int held;
+int lock_acquire(void) { held = 1; return 1; }
+int lock_release(void) { held = 0; return 1; }
+`,
+}
+
+const dynMonitorUnits = `
+bundletype Monitor = { sample }
+unit MonitorU = {
+  imports [ count : Count ];
+  exports [ mon : Monitor ];
+  initializer mon_init for mon;
+  depends { mon needs count; mon_init needs count; };
+  files { "monitor.c" };
+}
+`
+
+var dynMonitorSources = link.Sources{
+	"monitor.c": `
+int current(void);
+static int baseline;
+void mon_init(void) { baseline = current(); }
+int sample(void) { return current() - baseline; }
+`,
+}
+
+const dynIrqUnits = `
+bundletype Irq = { irq_handle }
+unit DynIrq = {
+  imports [ lock : Lock ];
+  exports [ irq : Irq ];
+  depends { irq needs lock; };
+  files { "irq.c" };
+  constraints {
+    context(irq) = NoContext;
+    context(exports) <= context(imports);
+  };
+}
+`
+
+var dynIrqSources = link.Sources{
+	"irq.c": `
+int lock_acquire(void);
+int lock_release(void);
+int irq_handle(int v) { lock_acquire(); lock_release(); return v; }
+`,
+}
+
+func buildDynBase(t *testing.T) *Result {
+	t.Helper()
+	res, err := Build(Options{
+		Top:       "Base",
+		UnitFiles: map[string]string{"base.unit": dynBaseUnits},
+		Sources:   dynBaseSources,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatalf("Build base: %v", err)
+	}
+	return res
+}
+
+// TestDynamicBoundaryConstraintCheck loads a compatible module into a
+// live machine, then tries a module whose context constraints conflict
+// with the running configuration — which must be rejected at the dynamic
+// boundary, before any of its code loads.
+func TestDynamicBoundaryConstraintCheck(t *testing.T) {
+	res := buildDynBase(t)
+	m := res.NewMachine()
+	if err := res.RunInit(m); err != nil {
+		t.Fatalf("RunInit: %v", err)
+	}
+	bump, err := res.Export("count", "bump")
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := m.Run(bump); err != nil {
+			t.Fatalf("bump: %v", err)
+		}
+	}
+
+	// The monitor wires to the live counter and is initialized on load.
+	mon, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "MonitorU",
+		UnitFiles: map[string]string{"mon.unit": dynMonitorUnits},
+		Sources:   dynMonitorSources,
+		Wiring:    map[string]string{"count": "count"},
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatalf("LoadDynamic monitor: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		m.Run(bump)
+	}
+	sample, err := mon.ExportSymbol("mon", "sample")
+	if err != nil {
+		t.Fatalf("ExportSymbol: %v", err)
+	}
+	v, err := m.Run(sample)
+	if err != nil {
+		t.Fatalf("sample: %v", err)
+	}
+	if v != 3 {
+		t.Errorf("sample() = %d, want 3 (bumps since load)", v)
+	}
+
+	// The interrupt module requires NoContext from its import, but the
+	// running lock is ProcessContext-only: rejected at the boundary.
+	_, err = res.LoadDynamic(m, DynamicUnit{
+		Unit:      "DynIrq",
+		UnitFiles: map[string]string{"irq.unit": dynIrqUnits},
+		Sources:   dynIrqSources,
+		Wiring:    map[string]string{"lock": "lock"},
+		Check:     true,
+	})
+	if err == nil {
+		t.Fatal("conflicting module was accepted at the dynamic boundary")
+	}
+	if !strings.Contains(err.Error(), "constraint violation") {
+		t.Errorf("rejection error %q does not name the constraint violation", err)
+	}
+
+	// The rejected load left the machine untouched: the kernel still runs.
+	after, err := m.Run(bump)
+	if err != nil {
+		t.Fatalf("bump after rejection: %v", err)
+	}
+	if after != 1009 {
+		t.Errorf("counter = %d after rejection, want 1009", after)
+	}
+}
+
+// TestDynamicUncheckedLoad: the checks are opt-in per load — without
+// Check the same conflicting module links fine (and the caller owns the
+// consequences, as with the paper's unchecked builds).
+func TestDynamicUncheckedLoad(t *testing.T) {
+	res := buildDynBase(t)
+	m := res.NewMachine()
+	if err := res.RunInit(m); err != nil {
+		t.Fatalf("RunInit: %v", err)
+	}
+	irq, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "DynIrq",
+		UnitFiles: map[string]string{"irq.unit": dynIrqUnits},
+		Sources:   dynIrqSources,
+		Wiring:    map[string]string{"lock": "lock"},
+	})
+	if err != nil {
+		t.Fatalf("unchecked LoadDynamic: %v", err)
+	}
+	h, err := irq.ExportSymbol("irq", "irq_handle")
+	if err != nil {
+		t.Fatalf("ExportSymbol: %v", err)
+	}
+	if v, err := m.Run(h, 7); err != nil || v != 7 {
+		t.Errorf("irq_handle(7) = %d, %v; want 7", v, err)
+	}
+}
+
+// TestDynamicModuleToModuleWiring chains loads: a second module wires to
+// the first loaded module's export, not just to the static base.
+func TestDynamicModuleToModuleWiring(t *testing.T) {
+	res := buildDynBase(t)
+	m := res.NewMachine()
+	if err := res.RunInit(m); err != nil {
+		t.Fatalf("RunInit: %v", err)
+	}
+	if _, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "MonitorU",
+		UnitFiles: map[string]string{"mon.unit": dynMonitorUnits},
+		Sources:   dynMonitorSources,
+		Wiring:    map[string]string{"count": "count"},
+		Check:     true,
+	}); err != nil {
+		t.Fatalf("LoadDynamic monitor: %v", err)
+	}
+
+	// Each dynamic module ships its own interface declarations; Monitor is
+	// not in the base registry, so the alarm module redeclares it.
+	alarmUnits := `
+bundletype Monitor = { sample }
+bundletype Alarm = { alarm_over }
+unit AlarmU = {
+  imports [ mon : Monitor ];
+  exports [ alarm : Alarm ];
+  depends { alarm needs mon; };
+  files { "alarm.c" };
+}
+`
+	alarmSources := link.Sources{
+		"alarm.c": `
+int sample(void);
+int alarm_over(int limit) { return sample() > limit; }
+`,
+	}
+	alarm, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "AlarmU",
+		UnitFiles: map[string]string{"alarm.unit": alarmUnits},
+		Sources:   alarmSources,
+		Wiring:    map[string]string{"mon": "mon"},
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatalf("LoadDynamic alarm: %v", err)
+	}
+	bump, _ := res.Export("count", "bump")
+	for i := 0; i < 4; i++ {
+		m.Run(bump)
+	}
+	over, err := alarm.ExportSymbol("alarm", "alarm_over")
+	if err != nil {
+		t.Fatalf("ExportSymbol: %v", err)
+	}
+	if v, err := m.Run(over, 3); err != nil || v != 1 {
+		t.Errorf("alarm_over(3) = %d, %v; want 1 (4 bumps since monitor load)", v, err)
+	}
+	if v, err := m.Run(over, 10); err != nil || v != 0 {
+		t.Errorf("alarm_over(10) = %d, %v; want 0", v, err)
+	}
+}

@@ -1,0 +1,126 @@
+package build
+
+import (
+	"fmt"
+	"sync"
+
+	"knit/internal/compile"
+	"knit/internal/knit/constraint"
+	"knit/internal/knit/link"
+	"knit/internal/knit/sched"
+	"knit/internal/machine"
+	"knit/internal/obj"
+)
+
+// Result is a built system: the elaborated program, its initialization
+// schedule, the merged object file, and the loaded machine image.
+type Result struct {
+	Program  *link.Program
+	Schedule *sched.Schedule
+	// Object is the fully linked object file (the "a.out"), e.g. for
+	// assembly dumps.
+	Object *obj.File
+	// Image is the loaded program with the build's cost model baked in.
+	Image *machine.Image
+	// ConstraintReport summarizes the §4 check; nil when Options.Check
+	// was off.
+	ConstraintReport *constraint.Report
+	// Timings is the per-phase build-time breakdown.
+	Timings Timings
+
+	copts compile.Options
+
+	mu   sync.Mutex
+	mach map[*machine.M]*machState
+}
+
+// machState tracks what the driver has already done on one machine, so
+// Run initializes each machine exactly once and finalizes it once.
+type machState struct {
+	initDone bool
+	finiDone bool
+	loaded   []*link.Instance // dynamically loaded units, in load order
+}
+
+func (r *Result) stateOf(m *machine.M) *machState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mach == nil {
+		r.mach = map[*machine.M]*machState{}
+	}
+	st, ok := r.mach[m]
+	if !ok {
+		st = &machState{}
+		r.mach[m] = st
+	}
+	return st
+}
+
+// NewMachine creates a fresh machine for the built image. Device
+// builtins (console, serial, stopwatch) are the caller's to install
+// before running.
+func (r *Result) NewMachine() *machine.M {
+	return machine.New(r.Image)
+}
+
+// Export resolves a top-level export bundle symbol to its global
+// (C-level) name, suitable for machine.M.Run.
+func (r *Result) Export(bundle, sym string) (string, error) {
+	return r.Program.ExportSymbol(bundle, sym)
+}
+
+// RunInit runs the program's initializers on m, in schedule order. It is
+// idempotent per machine: a second call (including the implicit one
+// inside Run) is a no-op.
+func (r *Result) RunInit(m *machine.M) error {
+	st := r.stateOf(m)
+	if st.initDone {
+		return nil
+	}
+	for _, name := range r.Schedule.Inits {
+		if _, err := m.Run(name); err != nil {
+			return fmt.Errorf("knit: initializer %s: %w", name, err)
+		}
+	}
+	st.initDone = true
+	return nil
+}
+
+// RunFini runs the program's finalizers on m in schedule order (reverse
+// initialization readiness). Like RunInit it runs at most once per
+// machine.
+func (r *Result) RunFini(m *machine.M) error {
+	st := r.stateOf(m)
+	if st.finiDone {
+		return nil
+	}
+	for _, name := range r.Schedule.Fins {
+		if _, err := m.Run(name); err != nil {
+			return fmt.Errorf("knit: finalizer %s: %w", name, err)
+		}
+	}
+	st.finiDone = true
+	return nil
+}
+
+// Run executes one exported function with full lifecycle: initializers
+// first (once per machine), then the function named by the top unit's
+// export bundle and symbol, then the finalizers — the same order a Knit
+// kernel's generated main would use.
+func (r *Result) Run(m *machine.M, bundle, sym string, args ...int64) (int64, error) {
+	global, err := r.Export(bundle, sym)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.RunInit(m); err != nil {
+		return 0, err
+	}
+	v, err := m.Run(global, args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.RunFini(m); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
