@@ -258,3 +258,36 @@ func mustCompile(b *testing.B, name, src string) *obj.File {
 	}
 	return o
 }
+
+// ---- build-time: the cache and the parallel compile stage ----
+
+// benchRouterBuild measures one full router build per iteration under
+// the given tuning — the number the knitbench -buildtime table reports.
+func benchRouterBuild(b *testing.B, tune func(*build.Options)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := clack.BuildRouterTuned(clack.Variant{}, tune); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildRouterCold(b *testing.B) {
+	benchRouterBuild(b, nil)
+}
+
+// BenchmarkBuildRouterWarm builds once outside the timer to fill the
+// cache, then measures fully warm builds.
+func BenchmarkBuildRouterWarm(b *testing.B) {
+	cache := build.NewCache()
+	tune := func(o *build.Options) { o.Cache = cache }
+	if _, err := clack.BuildRouterTuned(clack.Variant{}, tune); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchRouterBuild(b, tune)
+}
+
+func BenchmarkBuildRouterParallel(b *testing.B) {
+	benchRouterBuild(b, func(o *build.Options) { o.Parallelism = 0 })
+}

@@ -37,6 +37,8 @@ func main() {
 		check    = flag.Bool("check", true, "run the constraint checker")
 		optimize = flag.Bool("O", false, "enable the optimizer")
 		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
+		cacheDir = flag.String("cache", "", "directory for the content-hash compile cache (empty = no cache)")
+		jobs     = flag.Int("j", 0, "parallel compile jobs (0 = one per CPU)")
 		schedule = flag.Bool("schedule", false, "print the initializer/finalizer schedule")
 		showTime = flag.Bool("time", false, "print the per-phase build-time breakdown")
 		dumpFlat = flag.Bool("dump-flat", false, "print the flattened merged source and exit")
@@ -66,13 +68,22 @@ func main() {
 		fail(err)
 	}
 
+	var cache *build.Cache
+	if *cacheDir != "" {
+		cache, err = build.OpenCache(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+	}
 	res, err := build.Build(build.Options{
-		Top:       *top,
-		UnitFiles: unitFiles,
-		Sources:   sources,
-		Optimize:  *optimize,
-		Flatten:   *flatten,
-		Check:     *check,
+		Top:         *top,
+		UnitFiles:   unitFiles,
+		Sources:     sources,
+		Optimize:    *optimize,
+		Flatten:     *flatten,
+		Check:       *check,
+		Cache:       cache,
+		Parallelism: *jobs,
 	})
 	if err != nil {
 		fail(err)
@@ -148,6 +159,10 @@ func printTimings(w io.Writer, t build.Timings) {
 			pct = 100 * float64(p.D) / float64(total)
 		}
 		fmt.Fprintf(w, "  %-9s %10v  %5.1f%%\n", p.Name, p.D.Round(time.Microsecond), pct)
+	}
+	if t.CompileJobs > 0 {
+		fmt.Fprintf(w, "  compile cache: %d of %d translation units served from cache\n",
+			t.CacheHits, t.CompileJobs)
 	}
 }
 

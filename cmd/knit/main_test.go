@@ -75,9 +75,72 @@ func TestCLIEndToEnd(t *testing.T) {
 	printTimings(&b, res.Timings)
 	rendered := b.String()
 	for _, phase := range []string{"parse", "elaborate", "check", "schedule",
-		"flatten", "compile", "link", "load", "knit-proper"} {
+		"flatten", "compile", "link", "load", "knit-proper", "compile cache"} {
 		if !strings.Contains(rendered, phase) {
 			t.Errorf("printTimings output missing %q:\n%s", phase, rendered)
+		}
+	}
+}
+
+// TestCLICacheAndJobs drives the -cache / -j path: a disk cache in a
+// temp directory, a cold build, then a warm build from a fresh Cache
+// over the same directory, all at -j 8 — the byte-identical object is
+// the CLI-level version of the differential equivalence suite.
+func TestCLICacheAndJobs(t *testing.T) {
+	dir := filepath.Join("testdata", "webserver")
+	unitPath := filepath.Join(dir, "web.unit")
+	data, err := os.ReadFile(unitPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitFiles := map[string]string{unitPath: string(data)}
+	sources, err := loadSources(unitFiles, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	buildWith := func(jobs int) *build.Result {
+		t.Helper()
+		cache, err := build.OpenCache(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := build.Build(build.Options{
+			Top:         "LogServe",
+			UnitFiles:   unitFiles,
+			Sources:     sources,
+			Check:       true,
+			Cache:       cache,
+			Parallelism: jobs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := buildWith(8)
+	if cold.Timings.CacheHits != 0 {
+		t.Errorf("cold CLI build reported %d hits", cold.Timings.CacheHits)
+	}
+	warm := buildWith(8)
+	if warm.Timings.CacheHits != warm.Timings.CompileJobs {
+		t.Errorf("warm CLI build hit %d of %d jobs, want all (disk cache)",
+			warm.Timings.CacheHits, warm.Timings.CompileJobs)
+	}
+	if !reflect.DeepEqual(warm.Image.FuncAddr, cold.Image.FuncAddr) ||
+		warm.Image.TextSize != cold.Image.TextSize {
+		t.Error("warm image layout differs from cold")
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("-cache directory is empty after a build")
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".knitobj") {
+			t.Errorf("unexpected cache entry %q", e.Name())
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"knit/internal/clack"
@@ -97,6 +98,14 @@ func runAblations(packets int) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "knitbench:", err)
 	os.Exit(1)
+}
+
+// pctOf renders part as a percentage of whole, zero when whole is zero.
+func pctOf(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
 }
 
 func runTable1(packets int) {
@@ -194,32 +203,54 @@ func runBuildTime() {
 	fmt.Println("   paper: >95% of build time in the C compiler and linker;")
 	fmt.Println("   constraint checking more than doubles Knit-proper time")
 	const rounds = 10
-	// Compiler/loader share, on a code-heavy build (the Clack router).
-	var knitR, totalR time.Duration
-	var sum build.Timings
+	// Compiler/loader share, on a code-heavy build (the Clack router):
+	// cold (empty content-hash cache) next to warm (every translation
+	// unit cached by the immediately preceding build), plus a parallel
+	// cold build to show the worker pool.
+	var cold, warm, par build.Timings
+	jobs := runtime.GOMAXPROCS(0)
 	for i := 0; i < rounds; i++ {
-		res, err := clack.BuildRouter(clack.Variant{})
+		cache := build.NewCache()
+		withCache := func(o *build.Options) { o.Cache = cache; o.Parallelism = 1 }
+		resCold, err := clack.BuildRouterTuned(clack.Variant{}, withCache)
 		if err != nil {
 			fail(err)
 		}
-		knitR += res.Timings.KnitProper()
-		totalR += res.Timings.Total()
-		sum.Parse += res.Timings.Parse
-		sum.Elaborate += res.Timings.Elaborate
-		sum.Check += res.Timings.Check
-		sum.Schedule += res.Timings.Schedule
-		sum.Flatten += res.Timings.Flatten
-		sum.Compile += res.Timings.Compile
-		sum.Link += res.Timings.Link
-		sum.Load += res.Timings.Load
+		cold.Add(resCold.Timings)
+		resWarm, err := clack.BuildRouterTuned(clack.Variant{}, withCache)
+		if err != nil {
+			fail(err)
+		}
+		warm.Add(resWarm.Timings)
+		resPar, err := clack.BuildRouterTuned(clack.Variant{},
+			func(o *build.Options) { o.Parallelism = jobs })
+		if err != nil {
+			fail(err)
+		}
+		par.Add(resPar.Timings)
 	}
 	fmt.Println("   (clack router) per-phase, averaged over", rounds, "builds:")
-	for _, p := range sum.Phases() {
-		fmt.Printf("      %-9s %10v  %5.1f%%\n", p.Name, (p.D / rounds).Round(time.Microsecond),
-			100*float64(p.D)/float64(sum.Total()))
+	fmt.Printf("      %-9s %12s %7s  %12s %7s\n", "", "cold", "", "warm", "")
+	warmPhases := warm.Phases()
+	for i, p := range cold.Phases() {
+		w := warmPhases[i]
+		fmt.Printf("      %-9s %12v  %5.1f%%  %12v  %5.1f%%\n",
+			p.Name, (p.D / rounds).Round(time.Microsecond), pctOf(p.D, cold.Total()),
+			(w.D / rounds).Round(time.Microsecond), pctOf(w.D, warm.Total()))
 	}
-	frac := 100 * float64(totalR-knitR) / float64(totalR)
-	fmt.Printf("   (clack router) compiler+loader: %.1f%% of build time\n", frac)
+	fmt.Printf("      cache: cold %d/%d hits, warm %d/%d hits\n",
+		cold.CacheHits/rounds, cold.CompileJobs/rounds,
+		warm.CacheHits/rounds, warm.CompileJobs/rounds)
+	fmt.Printf("   (clack router) compiler+loader: %.1f%% of cold build time\n",
+		pctOf(cold.CompilerAndLoader(), cold.Total()))
+	fmt.Printf("   (clack router) warm compiler+loader %v = %.1f%% of cold %v (target <= 20%%)\n",
+		(warm.CompilerAndLoader() / rounds).Round(time.Microsecond),
+		pctOf(warm.CompilerAndLoader(), cold.CompilerAndLoader()),
+		(cold.CompilerAndLoader() / rounds).Round(time.Microsecond))
+	fmt.Printf("   (clack router) parallel compile (-j %d) %v vs serial %v (x%.1f)\n",
+		jobs, (par.Compile / rounds).Round(time.Microsecond),
+		(cold.Compile / rounds).Round(time.Microsecond),
+		float64(cold.Compile)/float64(par.Compile))
 
 	// Constraint-checking cost, on the constraint-heavy census kernel.
 	var knit, knitChecked time.Duration

@@ -4,104 +4,38 @@
 // boundary, initialized, and invoked — then a second module that
 // violates the running configuration's constraints is rejected before
 // any of its code loads.
+//
+// The unit definitions live in src/*.unit and the sources in the
+// sibling .c files, shared with the differential build tests.
 package main
 
 import (
+	"embed"
 	"fmt"
 	"log"
+	"path"
 
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
 )
 
-const baseUnits = `
-property context
-type NoContext
-type ProcessContext < NoContext
+//go:embed src/base.unit
+var baseUnits string
 
-bundletype Count = { bump, current }
-bundletype Lock  = { lock_acquire, lock_release }
+//go:embed src/mon.unit
+var monitorUnits string
 
-unit Counter = {
-  exports [ count : Count ];
-  initializer count_init for count;
-  files { "counter.c" };
-}
-unit BlockingLock = {
-  exports [ lock : Lock ];
-  files { "lock.c" };
-  constraints { context(lock) = ProcessContext; };
-}
-unit Base = {
-  exports [ count : Count, lock : Lock ];
-  link {
-    [count] <- Counter <- [];
-    [lock] <- BlockingLock <- [];
-  };
-}
-`
+//go:embed src/irq.unit
+var irqUnits string
 
-var baseSources = link.Sources{
-	"counter.c": `
-static int n;
-void count_init(void) { n = 1000; }
-int bump(void) { n++; return n; }
-int current(void) { return n; }
-`,
-	"lock.c": `
-static int held;
-int lock_acquire(void) { held = 1; return 1; }
-int lock_release(void) { held = 0; return 1; }
-`,
-}
-
-const monitorUnits = `
-bundletype Monitor = { sample }
-unit MonitorU = {
-  imports [ count : Count ];
-  exports [ mon : Monitor ];
-  initializer mon_init for mon;
-  depends { mon needs count; mon_init needs count; };
-  files { "monitor.c" };
-}
-`
-
-var monitorSources = link.Sources{
-	"monitor.c": `
-int current(void);
-static int baseline;
-void mon_init(void) { baseline = current(); }
-int sample(void) { return current() - baseline; }
-`,
-}
-
-const irqUnits = `
-bundletype Irq = { irq_handle }
-unit DynIrq = {
-  imports [ lock : Lock ];
-  exports [ irq : Irq ];
-  depends { irq needs lock; };
-  files { "irq.c" };
-  constraints {
-    context(irq) = NoContext;
-    context(exports) <= context(imports);
-  };
-}
-`
-
-var irqSources = link.Sources{
-	"irq.c": `
-int lock_acquire(void);
-int lock_release(void);
-int irq_handle(int v) { lock_acquire(); lock_release(); return v; }
-`,
-}
+//go:embed src/*.c
+var srcFS embed.FS
 
 func main() {
 	res, err := build.Build(build.Options{
 		Top:       "Base",
 		UnitFiles: map[string]string{"base.unit": baseUnits},
-		Sources:   baseSources,
+		Sources:   embeddedSources(),
 		Check:     true,
 	})
 	if err != nil {
@@ -123,7 +57,7 @@ func main() {
 	mon, err := res.LoadDynamic(m, build.DynamicUnit{
 		Unit:      "MonitorU",
 		UnitFiles: map[string]string{"mon.unit": monitorUnits},
-		Sources:   monitorSources,
+		Sources:   embeddedSources(),
 		Wiring:    map[string]string{"count": "count"},
 		Check:     true,
 	})
@@ -146,7 +80,7 @@ func main() {
 	_, err = res.LoadDynamic(m, build.DynamicUnit{
 		Unit:      "DynIrq",
 		UnitFiles: map[string]string{"irq.unit": irqUnits},
-		Sources:   irqSources,
+		Sources:   embeddedSources(),
 		Wiring:    map[string]string{"lock": "lock"},
 		Check:     true,
 	})
@@ -154,4 +88,22 @@ func main() {
 		log.Fatal("expected the interrupt module to be rejected")
 	}
 	fmt.Printf("interrupt module rejected at the dynamic boundary:\n  %v\n", err)
+}
+
+// embeddedSources exposes the embedded .c files as the build's virtual
+// filesystem, keyed by base name as the unit files reference them.
+func embeddedSources() link.Sources {
+	sources := link.Sources{}
+	entries, err := srcFS.ReadDir("src")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := srcFS.ReadFile(path.Join("src", e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources[e.Name()] = string(data)
+	}
+	return sources
 }

@@ -1,0 +1,4 @@
+static int n;
+void count_init(void) { n = 1000; }
+int bump(void) { n++; return n; }
+int current(void) { return n; }

@@ -1,0 +1,3 @@
+int lock_acquire(void);
+int lock_release(void);
+int irq_handle(int v) { lock_acquire(); lock_release(); return v; }

@@ -1,0 +1,4 @@
+int current(void);
+static int baseline;
+void mon_init(void) { baseline = current(); }
+int sample(void) { return current() - baseline; }

@@ -2,157 +2,38 @@
 // Web server unit wired to file/CGI handlers, wrapped by a logging unit,
 // all composed in the compound unit LogServe, with Knit scheduling the
 // stdio initializer before the log's initializer automatically.
+//
+// The unit definitions live in src/web.unit and the component sources
+// in the sibling .c files (directly following the paper's Figures 5
+// and 6); they are embedded so the example runs from any directory,
+// and the same files are built by the repo-wide differential build
+// tests and by cmd/knit:
+//
+//	knit -top LogServe -run main.run examples/quickstart/src/web.unit
 package main
 
 import (
+	"embed"
 	"fmt"
 	"log"
+	"path"
 
 	"knit/internal/knit/build"
+	"knit/internal/knit/link"
 	"knit/internal/machine"
 )
 
-// The unit definitions, directly following the paper's Figure 5.
-const units = `
-bundletype Serve = { serve_web }
-bundletype Stdio = { fopen, fprintf }
-bundletype Main  = { run }
+//go:embed src/web.unit
+var units string
 
-unit ServeFile = {
-  exports [ serveFile : Serve ];
-  files { "serve_file.c" };
-  rename { serveFile.serve_web to serve_file; };
-}
-unit ServeCGI = {
-  exports [ serveCGI : Serve ];
-  files { "serve_cgi.c" };
-  rename { serveCGI.serve_web to serve_cgi; };
-}
-unit StdioUnit = {
-  exports [ stdio : Stdio ];
-  initializer stdio_init for stdio;
-  files { "stdio.c" };
-}
-
-unit Web = {
-  imports [ serveFile : Serve, serveCGI : Serve ];
-  exports [ serveWeb : Serve ];
-  depends { serveWeb needs (serveFile + serveCGI); };
-  files { "web.c" };
-  rename {
-    serveFile.serve_web to serve_file;
-    serveCGI.serve_web to serve_cgi;
-  };
-}
-
-unit Log = {
-  imports [ serveWeb : Serve, stdio : Stdio ];
-  exports [ serveLog : Serve ];
-  initializer open_log for serveLog;
-  finalizer close_log for serveLog;
-  depends {
-    (open_log + close_log) needs stdio;
-    serveLog needs (serveWeb + stdio);
-  };
-  files { "log.c" };
-  rename {
-    serveWeb.serve_web to serve_unlogged;
-    serveLog.serve_web to serve_logged;
-  };
-}
-
-unit Driver = {
-  imports [ serve : Serve ];
-  exports [ main : Main ];
-  depends { main needs serve; };
-  files { "driver.c" };
-}
-
-unit LogServe = {
-  exports [ main : Main ];
-  link {
-    [serveFile] <- ServeFile <- [];
-    [serveCGI] <- ServeCGI <- [];
-    [stdio] <- StdioUnit <- [];
-    [serveWeb] <- Web <- [serveFile, serveCGI];
-    [serveLog] <- Log <- [serveWeb, stdio];
-    [main] <- Driver <- [serveLog];
-  };
-}
-`
-
-// The component implementations; web.c and log.c follow Figure 6.
-var sources = map[string]string{
-	"serve_file.c": `
-extern int __console_out(int c);
-int serve_file(int s, char *path) {
-    __console_out('[');
-    int i = 0;
-    while (path[i] != 0) { __console_out(path[i]); i++; }
-    __console_out(']');
-    return 200;
-}
-`,
-	"serve_cgi.c": `
-int serve_cgi(int s, char *path) { return 201; }
-`,
-	"stdio.c": `
-extern int __console_out(int c);
-static int ready = 0;
-void stdio_init(void) { ready = 1; }
-int fopen(char *name, char *mode) { return ready ? 3 : -1; }
-int fprintf(int f, char *s) {
-    int i = 0;
-    while (s[i] != 0) { __console_out(s[i]); i++; }
-    return i;
-}
-`,
-	"web.c": `
-int serve_file(int s, char *path);
-int serve_cgi(int s, char *path);
-static int strncmp_(char *a, char *b, int n) {
-    for (int i = 0; i < n; i++) {
-        if (a[i] != b[i]) { return a[i] - b[i]; }
-        if (a[i] == 0) { return 0; }
-    }
-    return 0;
-}
-int serve_web(int s, char *path) {
-    if (!strncmp_(path, "/cgi-bin/", 9)) {
-        return serve_cgi(s, path + 9);
-    }
-    return serve_file(s, path);
-}
-`,
-	"log.c": `
-int serve_unlogged(int s, char *path);
-int fopen(char *name, char *mode);
-int fprintf(int f, char *s);
-static int log_;
-void open_log(void) { log_ = fopen("ServerLog", "a"); }
-void close_log(void) { fprintf(log_, " <log closed>"); }
-int serve_logged(int s, char *path) {
-    int r;
-    r = serve_unlogged(s, path);
-    fprintf(log_, " log:");
-    fprintf(log_, path);
-    return r;
-}
-`,
-	"driver.c": `
-int serve_web(int s, char *path);
-int run(int which) {
-    if (which) { return serve_web(1, "/cgi-bin/form"); }
-    return serve_web(1, "/index.html");
-}
-`,
-}
+//go:embed src/*.c
+var srcFS embed.FS
 
 func main() {
 	res, err := build.Build(build.Options{
 		Top:       "LogServe",
 		UnitFiles: map[string]string{"web.unit": units},
-		Sources:   sources,
+		Sources:   embeddedSources(),
 		Check:     true,
 	})
 	if err != nil {
@@ -170,4 +51,22 @@ func main() {
 	}
 	fmt.Printf("GET /index.html -> %d\n", status)
 	fmt.Printf("console: %q\n", con.String())
+}
+
+// embeddedSources exposes the embedded .c files as the build's virtual
+// filesystem, keyed by base name as the unit file references them.
+func embeddedSources() link.Sources {
+	sources := link.Sources{}
+	entries, err := srcFS.ReadDir("src")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := srcFS.ReadFile(path.Join("src", e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources[e.Name()] = string(data)
+	}
+	return sources
 }

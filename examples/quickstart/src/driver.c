@@ -1,0 +1,5 @@
+int serve_web(int s, char *path);
+int run(int which) {
+    if (which) { return serve_web(1, "/cgi-bin/form"); }
+    return serve_web(1, "/index.html");
+}

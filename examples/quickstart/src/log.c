@@ -1,0 +1,13 @@
+int serve_unlogged(int s, char *path);
+int fopen(char *name, char *mode);
+int fprintf(int f, char *s);
+static int log_;
+void open_log(void) { log_ = fopen("ServerLog", "a"); }
+void close_log(void) { fprintf(log_, " <log closed>"); }
+int serve_logged(int s, char *path) {
+    int r;
+    r = serve_unlogged(s, path);
+    fprintf(log_, " log:");
+    fprintf(log_, path);
+    return r;
+}

@@ -1,0 +1,8 @@
+extern int __console_out(int c);
+int serve_file(int s, char *path) {
+    __console_out('[');
+    int i = 0;
+    while (path[i] != 0) { __console_out(path[i]); i++; }
+    __console_out(']');
+    return 200;
+}

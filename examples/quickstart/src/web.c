@@ -1,0 +1,15 @@
+int serve_file(int s, char *path);
+int serve_cgi(int s, char *path);
+static int strncmp_(char *a, char *b, int n) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] != b[i]) { return a[i] - b[i]; }
+        if (a[i] == 0) { return 0; }
+    }
+    return 0;
+}
+int serve_web(int s, char *path) {
+    if (!strncmp_(path, "/cgi-bin/", 9)) {
+        return serve_cgi(s, path + 9);
+    }
+    return serve_file(s, path);
+}

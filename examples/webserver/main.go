@@ -2,93 +2,34 @@
 // interposition stacked twice (two instances of the same Log unit, each
 // with private state), and the effect of Knit flattening on the same
 // configuration (identical behaviour, fewer cycles).
+//
+// The unit definitions live in src/ws.unit and the sources in the
+// sibling .c files, shared with the differential build tests.
 package main
 
 import (
+	"embed"
 	"fmt"
 	"log"
+	"path"
 	"strings"
 
 	"knit/internal/knit/build"
+	"knit/internal/knit/link"
 	"knit/internal/machine"
 )
 
-const units = `
-bundletype Serve = { serve_web }
-bundletype Main  = { run }
+//go:embed src/ws.unit
+var units string
 
-unit Server = {
-  exports [ s : Serve ];
-  files { "server.c" };
-}
-
-// A generic wrapper: counts and tags every request through it. Linked
-// twice below — each instance keeps its own counter.
-unit Trace = {
-  imports [ inner : Serve ];
-  exports [ outer : Serve ];
-  files { "trace.c" };
-  rename {
-    inner.serve_web to serve_inner;
-    outer.serve_web to serve_traced;
-  };
-}
-
-unit Client = {
-  imports [ s : Serve ];
-  exports [ m : Main ];
-  depends { m needs s; };
-  files { "client.c" };
-}
-
-unit DoubleTrace = {
-  exports [ m : Main ];
-  link {
-    [s]  <- Server <- [];
-    [t1] <- Trace <- [s];
-    [t2] <- Trace <- [t1];
-    [m]  <- Client <- [t2];
-  };
-}
-`
-
-var sources = map[string]string{
-	"server.c": `
-extern int __console_out(int c);
-int serve_web(int s, char *path) {
-    __console_out('S');
-    return 200;
-}
-`,
-	"trace.c": `
-extern int __console_out(int c);
-int serve_inner(int s, char *path);
-static int hits = 0;
-int serve_traced(int s, char *path) {
-    hits++;
-    __console_out('0' + hits);
-    int r = serve_inner(s, path);
-    __console_out('t');
-    return r;
-}
-`,
-	"client.c": `
-int serve_web(int s, char *path);
-int run(int n) {
-    int last = 0;
-    for (int i = 0; i < n; i++) {
-        last = serve_web(1, "/page");
-    }
-    return last;
-}
-`,
-}
+//go:embed src/*.c
+var srcFS embed.FS
 
 func buildIt(flatten bool) (*build.Result, int64, string) {
 	res, err := build.Build(build.Options{
 		Top:       "DoubleTrace",
 		UnitFiles: map[string]string{"ws.unit": units},
-		Sources:   sources,
+		Sources:   embeddedSources(),
 		Optimize:  true,
 		Flatten:   flatten,
 	})
@@ -126,4 +67,22 @@ func main() {
 	}
 	n := strings.Count(src, "int serve_traced__k")
 	fmt.Printf("flattened source defines %d distinct serve_traced copies\n", n)
+}
+
+// embeddedSources exposes the embedded .c files as the build's virtual
+// filesystem, keyed by base name as the unit file references them.
+func embeddedSources() link.Sources {
+	sources := link.Sources{}
+	entries, err := srcFS.ReadDir("src")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := srcFS.ReadFile(path.Join("src", e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources[e.Name()] = string(data)
+	}
+	return sources
 }

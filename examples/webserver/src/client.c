@@ -1,0 +1,8 @@
+int serve_web(int s, char *path);
+int run(int n) {
+    int last = 0;
+    for (int i = 0; i < n; i++) {
+        last = serve_web(1, "/page");
+    }
+    return last;
+}

@@ -1,0 +1,5 @@
+extern int __console_out(int c);
+int serve_web(int s, char *path) {
+    __console_out('S');
+    return 200;
+}

@@ -33,6 +33,29 @@ const (
 	DefaultGrowthLimit = 4096
 )
 
+// Key returns a canonical fingerprint of the options that affect
+// generated code, for content-addressed build caches: two Options with
+// the same Key compile any given file to the same object. Unset limits
+// normalize to their defaults, and options the optimizer ignores when
+// Opt is off do not contribute.
+func (o Options) Key() string {
+	if !o.Opt {
+		return "O0"
+	}
+	il := o.InlineLimit
+	if il == 0 {
+		il = DefaultInlineLimit
+	}
+	gl := o.GrowthLimit
+	if gl == 0 {
+		gl = DefaultGrowthLimit
+	}
+	if il < 0 {
+		il, gl = -1, 0 // every negative limit means "inlining off"
+	}
+	return fmt.Sprintf("O1 inline=%d growth=%d cse=%t", il, gl, !o.DisableCSE)
+}
+
 // Compile translates one cmini file into an object file.
 func Compile(f *cmini.File, opts Options) (*obj.File, error) {
 	structs, err := layouts(f)

@@ -14,7 +14,10 @@ package build
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"knit/internal/cmini"
@@ -70,6 +73,16 @@ type Options struct {
 	// Costs is the simulated machine's cost model; the zero value means
 	// machine.DefaultCosts().
 	Costs machine.Costs
+	// Cache, when non-nil, memoizes compiled translation units across
+	// builds by content hash (see Cache). A warm rebuild of an
+	// unchanged program skips every compile — and, for a flattened
+	// region, the merge too — leaving only linking and loading.
+	Cache *Cache
+	// Parallelism bounds the number of concurrent compile workers:
+	// 0 means GOMAXPROCS, 1 forces serial compilation. Independent
+	// translation units compile in parallel; output ordering (and thus
+	// the built Object and Image) is identical at every setting.
+	Parallelism int
 }
 
 // compileOptions derives the compiler configuration from build options.
@@ -133,9 +146,13 @@ func Build(opts Options) (*Result, error) {
 	}
 	res.Schedule = schedule
 
-	// Optional flattening (§6): merge the chosen region's sources.
+	// Optional flattening (§6): merge the chosen region's sources. With
+	// a cache, an unchanged region is recognized by its fingerprint
+	// before merging, so a warm build skips the merge entirely.
 	instances := prog.SortedInstances()
 	var merged *cmini.File
+	var mergedObj *obj.File // cached compile of the flattened region
+	var mergedKey string
 	var modular []*link.Instance
 	if opts.Flatten {
 		start = time.Now()
@@ -148,7 +165,13 @@ func Build(opts Options) (*Result, error) {
 			}
 		}
 		if len(region) > 0 {
-			merged, err = flatten.Merge("flattened.c", region)
+			if opts.Cache != nil {
+				mergedKey = regionCacheKey(res.copts, region)
+				mergedObj, _ = opts.Cache.lookup(mergedKey)
+			}
+			if mergedObj == nil {
+				merged, err = flatten.Merge("flattened.c", region)
+			}
 		}
 		res.Timings.Flatten = time.Since(start)
 		if err != nil {
@@ -160,26 +183,37 @@ func Build(opts Options) (*Result, error) {
 
 	// Compile: one translation unit per source file — or one big one for
 	// the flattened region — so optimization crosses component boundaries
-	// exactly when flattening says it may.
+	// exactly when flattening says it may. Translation units are
+	// independent, so they compile concurrently on a bounded worker
+	// pool; results keep task order, so the linked output is identical
+	// at every Parallelism setting.
 	start = time.Now()
-	var items []ldlink.Item
+	var jobs []compileJob
 	if merged != nil {
-		o, err := compile.Compile(merged, res.copts)
-		if err != nil {
-			res.Timings.Compile = time.Since(start)
-			return nil, err
-		}
-		items = append(items, ldlink.Obj(o))
+		jobs = append(jobs, compileJob{label: "flattened region", file: merged, key: mergedKey})
 	}
 	for _, inst := range modular {
 		for _, f := range inst.Files {
-			o, err := compile.Compile(f, res.copts)
-			if err != nil {
-				res.Timings.Compile = time.Since(start)
-				return nil, fmt.Errorf("%s: %w", inst.Path, err)
-			}
-			items = append(items, ldlink.Obj(o))
+			jobs = append(jobs, compileJob{label: inst.Path, file: f})
 		}
+	}
+	objs, hits, err := runCompileJobs(jobs, res.copts, opts.Cache, opts.Parallelism)
+	res.Timings.CompileJobs = len(jobs)
+	res.Timings.CacheHits = hits
+	if mergedObj != nil { // region served from cache: count it as a hit job
+		res.Timings.CompileJobs++
+		res.Timings.CacheHits++
+	}
+	if err != nil {
+		res.Timings.Compile = time.Since(start)
+		return nil, err
+	}
+	var items []ldlink.Item
+	if mergedObj != nil {
+		items = append(items, ldlink.Obj(mergedObj))
+	}
+	for _, o := range objs {
+		items = append(items, ldlink.Obj(o))
 	}
 	// Assembly objects link as-is for every instance, flattened or not.
 	for _, inst := range instances {
@@ -214,6 +248,78 @@ func Build(opts Options) (*Result, error) {
 	}
 	res.Image = img
 	return res, nil
+}
+
+// compileJob is one translation unit to compile: a source file plus a
+// diagnostic label, and an optional precomputed cache key (the
+// flattened region's; per-file keys are hashed on the worker).
+type compileJob struct {
+	label string
+	file  *cmini.File
+	key   string
+}
+
+// runCompileJobs compiles every job, consulting cache when non-nil,
+// with up to par concurrent workers (0 = GOMAXPROCS). The returned
+// objects are in job order regardless of completion order, and on
+// failure the error is the lowest-indexed job's — both so that the
+// build is deterministic at any parallelism. The returned count is how
+// many jobs were served from the cache.
+func runCompileJobs(jobs []compileJob, copts compile.Options, cache *Cache, par int) ([]*obj.File, int, error) {
+	if len(jobs) == 0 {
+		return nil, 0, nil
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	objs := make([]*obj.File, len(jobs))
+	errs := make([]error, len(jobs))
+	var hits atomic.Int64
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				job := jobs[i]
+				key := job.key
+				if cache != nil {
+					if key == "" {
+						key = fileCacheKey(copts, job.file)
+					}
+					if o, ok := cache.lookup(key); ok {
+						objs[i] = o
+						hits.Add(1)
+						continue
+					}
+				}
+				o, err := compile.Compile(job.file, copts)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", job.label, err)
+					continue
+				}
+				if cache != nil {
+					cache.store(key, o)
+				}
+				objs[i] = o
+			}
+		}()
+	}
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, int(hits.Load()), err
+		}
+	}
+	return objs, int(hits.Load()), nil
 }
 
 // parseUnitFiles parses every unit file in deterministic (sorted-name)

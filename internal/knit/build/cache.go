@@ -1,0 +1,172 @@
+package build
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"knit/internal/cmini"
+	"knit/internal/compile"
+	"knit/internal/knit/flatten"
+	"knit/internal/knit/link"
+	"knit/internal/obj"
+)
+
+// Cache is a content-addressed store of compiled translation units,
+// shared across builds (and across goroutines within one build). A
+// unit instance's compiled object depends only on its renamed sources
+// and the compiler options, so the cache key is a hash over exactly
+// that: the instance-renamed source text — which already encodes the
+// resolved import/export wiring via the __kN suffixes and provider
+// names — plus compile.Options.Key(). Flattened regions are keyed by
+// flatten.Fingerprint over the region's ordered instance sources, so a
+// warm build skips both the merge and the compile.
+//
+// Invalidation is automatic: any change to a unit's sources, to its
+// wiring (which renames identifiers), or to the optimizer settings
+// changes the key, and the stale entry is simply never looked up
+// again. Entries are immutable; lookups and stores deep-copy so no
+// build can mutate another's objects.
+type Cache struct {
+	dir string // optional disk backing; "" = memory only
+
+	mu     sync.Mutex
+	mem    map[string]*obj.File
+	hits   int
+	misses int
+}
+
+// NewCache returns an empty in-memory cache.
+func NewCache() *Cache {
+	return &Cache{mem: map[string]*obj.File{}}
+}
+
+// OpenCache returns a cache backed by dir (created if needed): entries
+// are written as gob-encoded object files named by their content hash,
+// so the cache survives across processes — this is what cmd/knit's
+// -cache flag opens. Reads fall back to disk on a memory miss;
+// unreadable or corrupt entries are treated as misses.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("knit: cache: %w", err)
+	}
+	return &Cache{dir: dir, mem: map[string]*obj.File{}}, nil
+}
+
+// CacheStats reports cache effectiveness since the cache was created.
+type CacheStats struct {
+	Hits    int // lookups served from the cache
+	Misses  int // lookups that had to compile
+	Entries int // distinct objects currently held in memory
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.mem)}
+}
+
+// lookup returns a private copy of the object stored under key.
+func (c *Cache) lookup(key string) (*obj.File, bool) {
+	c.mu.Lock()
+	o, ok := c.mem[key]
+	if !ok && c.dir != "" {
+		o = c.readDisk(key)
+		if o != nil {
+			c.mem[key] = o
+			ok = true
+		}
+	}
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return o.Clone(), true
+}
+
+// store records o under key. The cache keeps its own copy.
+func (c *Cache) store(key string, o *obj.File) {
+	cp := o.Clone()
+	c.mu.Lock()
+	c.mem[key] = cp
+	c.mu.Unlock()
+	if c.dir != "" {
+		c.writeDisk(key, cp)
+	}
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".knitobj")
+}
+
+// readDisk loads one entry from the backing directory; any failure is
+// a miss (the cache is best-effort).
+func (c *Cache) readDisk(key string) *obj.File {
+	f, err := os.Open(c.entryPath(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var o obj.File
+	if err := gob.NewDecoder(f).Decode(&o); err != nil {
+		return nil
+	}
+	return &o
+}
+
+// writeDisk persists one entry atomically (temp file + rename), so a
+// concurrent reader never sees a half-written object. Called with
+// c.mu released; the entry is immutable once stored.
+func (c *Cache) writeDisk(key string, o *obj.File) {
+	tmp, err := os.CreateTemp(c.dir, "tmp-*.knitobj")
+	if err != nil {
+		return
+	}
+	if err := gob.NewEncoder(tmp).Encode(o); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.entryPath(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// fileCacheKey is the content hash of one translation unit: the
+// compiler configuration plus the (instance-renamed) source.
+func fileCacheKey(copts compile.Options, f *cmini.File) string {
+	h := sha256.New()
+	io.WriteString(h, "file\x00")
+	io.WriteString(h, copts.Key())
+	h.Write([]byte{0})
+	io.WriteString(h, f.Name)
+	h.Write([]byte{0})
+	io.WriteString(h, cmini.Print(f))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// regionCacheKey is the content hash of a flattened region's compiled
+// object: the compiler configuration plus the region fingerprint.
+func regionCacheKey(copts compile.Options, region []*link.Instance) string {
+	h := sha256.New()
+	io.WriteString(h, "flat\x00")
+	io.WriteString(h, copts.Key())
+	h.Write([]byte{0})
+	io.WriteString(h, flatten.Fingerprint(region))
+	return hex.EncodeToString(h.Sum(nil))
+}

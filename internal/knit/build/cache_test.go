@@ -1,0 +1,284 @@
+package build
+
+import (
+	"testing"
+
+	"knit/internal/asm"
+	"knit/internal/knit/link"
+	"knit/internal/machine"
+)
+
+// TestCacheWarmBuildHitsEverything: a second build of an unchanged
+// program must serve every translation unit from the cache and still
+// produce a byte-identical object.
+func TestCacheWarmBuildHitsEverything(t *testing.T) {
+	cache := NewCache()
+	opts := logServeOptions()
+	opts.Cache = cache
+
+	cold, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Timings.CacheHits != 0 {
+		t.Errorf("cold build reported %d cache hits, want 0", cold.Timings.CacheHits)
+	}
+	if cold.Timings.CompileJobs == 0 {
+		t.Fatal("cold build reported no compile jobs")
+	}
+
+	warm, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Timings.CacheHits != warm.Timings.CompileJobs {
+		t.Errorf("warm build hit %d of %d jobs, want all",
+			warm.Timings.CacheHits, warm.Timings.CompileJobs)
+	}
+	if got, want := asm.Format(warm.Object), asm.Format(cold.Object); got != want {
+		t.Error("warm object differs from cold object")
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Entries == 0 {
+		t.Errorf("cache stats %+v, want hits and entries", st)
+	}
+}
+
+// TestCacheInvalidationOnSourceChange: editing one source file must
+// recompile exactly that translation unit on the next build.
+func TestCacheInvalidationOnSourceChange(t *testing.T) {
+	cache := NewCache()
+	opts := logServeOptions()
+	opts.Cache = cache
+	if _, err := Build(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := map[string]string{}
+	for k, v := range logServeSources {
+		edited[k] = v
+	}
+	edited["serve_cgi.c"] = `int serve_cgi(int s, char *path) { return 299; }`
+	opts.Sources = edited
+	res, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Timings.CacheHits, res.Timings.CompileJobs-1; got != want {
+		t.Errorf("after editing one file: %d hits of %d jobs, want %d",
+			got, res.Timings.CompileJobs, want)
+	}
+	m := res.NewMachine()
+	machine.InstallConsole(m)
+	v, err := res.Run(m, "main", "run", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 299 {
+		t.Errorf("CGI request after edit returned %d, want 299", v)
+	}
+}
+
+// TestCacheInvalidationOnOptions: the same sources built with different
+// optimizer settings must not share cache entries.
+func TestCacheInvalidationOnOptions(t *testing.T) {
+	cache := NewCache()
+	opts := logServeOptions()
+	opts.Cache = cache
+	if _, err := Build(opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Optimize = true
+	res, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings.CacheHits != 0 {
+		t.Errorf("optimized rebuild hit %d cached unoptimized objects, want 0",
+			res.Timings.CacheHits)
+	}
+}
+
+// TestCachePartialReuseAcrossConfigurations: the key covers the
+// resolved wiring, not just the file text. Growing a configuration
+// from one wrapper to two reuses the unchanged prefix (the server and
+// the inner wrapper keep their renamed sources) and recompiles only
+// the genuinely new instance.
+func TestCachePartialReuseAcrossConfigurations(t *testing.T) {
+	units := func(top string) map[string]string {
+		return map[string]string{"t.unit": `
+bundletype Serve = { serve_web }
+unit Server = { exports [ s : Serve ]; files { "server.c" }; }
+unit Wrap = {
+  imports [ inner : Serve ];
+  exports [ outer : Serve ];
+  files { "wrap.c" };
+  rename { inner.serve_web to serve_inner; outer.serve_web to serve_outer; };
+}
+unit Once = {
+  exports [ o : Serve ];
+  link { [s] <- Server <- []; [o] <- Wrap <- [s]; };
+}
+unit Twice = {
+  exports [ o : Serve ];
+  link { [s] <- Server <- []; [w] <- Wrap <- [s]; [o] <- Wrap <- [w]; };
+}
+unit ` + top + `Top = { exports [ o : Serve ]; link { [o] <- ` + top + ` <- []; }; }
+`}
+	}
+	sources := link.Sources{
+		"server.c": `int serve_web(int s) { return 200; }`,
+		"wrap.c": `
+int serve_inner(int s);
+int serve_outer(int s) { return serve_inner(s) + 1; }
+`,
+	}
+	cache := NewCache()
+	a, err := Build(Options{Top: "OnceTop", UnitFiles: units("Once"),
+		Sources: sources, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Timings.CacheHits != 0 {
+		t.Fatalf("first build hit %d, want 0", a.Timings.CacheHits)
+	}
+	b, err := Build(Options{Top: "TwiceTop", UnitFiles: units("Twice"),
+		Sources: sources, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twice instantiates Server + two Wraps. The server and the inner
+	// wrapper elaborate to the same renamed sources as in the Once
+	// build, so they hit; the outer wrapper is wired differently
+	// (imports from the inner wrapper, new instance suffix) and must
+	// recompile.
+	if b.Timings.CompileJobs != 3 || b.Timings.CacheHits != 2 {
+		t.Errorf("grown configuration: %d/%d hits, want 2/3 (reuse prefix, recompile the new instance)",
+			b.Timings.CacheHits, b.Timings.CompileJobs)
+	}
+	for res, want := range map[*Result]int64{a: 201, b: 202} {
+		m := res.NewMachine()
+		v, err := res.Run(m, "o", "serve_web", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Errorf("serve_web = %d, want %d", v, want)
+		}
+	}
+}
+
+// TestCacheFlattenedRegion: with flattening on, the whole region is one
+// cache entry; a warm build skips the merge and the compile.
+func TestCacheFlattenedRegion(t *testing.T) {
+	cache := NewCache()
+	opts := logServeOptions()
+	opts.Cache = cache
+	opts.Optimize = true
+	opts.Flatten = true
+
+	cold, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Timings.CompileJobs != 1 {
+		t.Fatalf("flattened cold build ran %d jobs, want 1 (the region)", cold.Timings.CompileJobs)
+	}
+	warm, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Timings.CacheHits != 1 || warm.Timings.CompileJobs != 1 {
+		t.Errorf("flattened warm build: %d/%d hits, want 1/1",
+			warm.Timings.CacheHits, warm.Timings.CompileJobs)
+	}
+	if got, want := asm.Format(warm.Object), asm.Format(cold.Object); got != want {
+		t.Error("warm flattened object differs from cold")
+	}
+}
+
+// TestCacheDiskRoundTrip: a disk-backed cache persists entries across
+// Cache instances (the cross-process -cache path).
+func TestCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := logServeOptions()
+	opts.Cache = c1
+	cold, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir) // fresh instance, same directory
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = c2
+	warm, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Timings.CacheHits != warm.Timings.CompileJobs {
+		t.Errorf("disk-backed warm build hit %d of %d jobs, want all",
+			warm.Timings.CacheHits, warm.Timings.CompileJobs)
+	}
+	if got, want := asm.Format(warm.Object), asm.Format(cold.Object); got != want {
+		t.Error("object rebuilt from disk cache differs")
+	}
+	m := warm.NewMachine()
+	machine.InstallConsole(m)
+	if _, err := warm.Run(m, "main", "run", 0); err != nil {
+		t.Fatalf("running disk-cached build: %v", err)
+	}
+}
+
+// TestParallelCompileDeterminism: -j1 and -jN builds must produce
+// byte-identical objects and identical schedules.
+func TestParallelCompileDeterminism(t *testing.T) {
+	serialOpts := logServeOptions()
+	serialOpts.Parallelism = 1
+	serial, err := Build(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 8} {
+		opts := logServeOptions()
+		opts.Parallelism = par
+		res, err := Build(opts)
+		if err != nil {
+			t.Fatalf("-j %d: %v", par, err)
+		}
+		if got, want := asm.Format(res.Object), asm.Format(serial.Object); got != want {
+			t.Errorf("-j %d object differs from -j 1", par)
+		}
+	}
+}
+
+// TestParallelCompileError: a compile error under parallelism must be
+// reported deterministically (lowest job first) and fail the build.
+func TestParallelCompileError(t *testing.T) {
+	opts := logServeOptions()
+	broken := map[string]string{}
+	for k, v := range logServeSources {
+		broken[k] = v
+	}
+	broken["log.c"] = `int serve_logged(int s, char *path) { return undefined_helper(); }`
+	broken["web.c"] = `int serve_web(int s, char *path) { return also_missing(); }`
+	opts.Sources = broken
+	opts.Parallelism = 8
+	want := ""
+	for i := 0; i < 5; i++ {
+		_, err := Build(opts)
+		if err == nil {
+			t.Fatal("build of broken sources succeeded")
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("nondeterministic error under -j 8:\n  %s\nvs\n  %s", want, err.Error())
+		}
+	}
+}

@@ -20,6 +20,29 @@ type Timings struct {
 	Compile   time.Duration // cmini -> IR, optimization passes
 	Link      time.Duration // object merge into the image
 	Load      time.Duration // data/text placement, address resolution
+
+	// CompileJobs counts the translation units the compile phase
+	// processed (per-file units plus a flattened region, if any);
+	// CacheHits says how many of them were served from Options.Cache
+	// instead of being compiled. Both are zero when no C sources exist
+	// (an all-assembly program), and CacheHits is zero without a cache.
+	CompileJobs int
+	CacheHits   int
+}
+
+// Add accumulates u into t, phase by phase — for averaging repeated
+// builds in benchmarks and reports.
+func (t *Timings) Add(u Timings) {
+	t.Parse += u.Parse
+	t.Elaborate += u.Elaborate
+	t.Check += u.Check
+	t.Schedule += u.Schedule
+	t.Flatten += u.Flatten
+	t.Compile += u.Compile
+	t.Link += u.Link
+	t.Load += u.Load
+	t.CompileJobs += u.CompileJobs
+	t.CacheHits += u.CacheHits
 }
 
 // KnitProper is the time spent in Knit's own analyses — the paper's
@@ -73,6 +96,9 @@ func (t Timings) String() string {
 			pct = 100 * float64(p.D) / float64(total)
 		}
 		fmt.Fprintf(&b, "%s %v (%.1f%%)", p.Name, p.D.Round(time.Microsecond), pct)
+	}
+	if t.CacheHits > 0 {
+		fmt.Fprintf(&b, " | cache %d/%d hits", t.CacheHits, t.CompileJobs)
 	}
 	return b.String()
 }

@@ -1,0 +1,164 @@
+package build
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTimingsZeroValue: a zero Timings must be well-formed — eight
+// phases, every duration zero, a 0 total, and a String() that renders
+// 0.0% shares rather than NaN.
+func TestTimingsZeroValue(t *testing.T) {
+	var z Timings
+	phases := z.Phases()
+	if len(phases) != 8 {
+		t.Fatalf("got %d phases, want 8", len(phases))
+	}
+	for _, p := range phases {
+		if p.D != 0 {
+			t.Errorf("phase %s = %v in zero value", p.Name, p.D)
+		}
+	}
+	if z.Total() != 0 || z.KnitProper() != 0 || z.CompilerAndLoader() != 0 {
+		t.Errorf("zero value totals: %v / %v / %v", z.Total(), z.KnitProper(), z.CompilerAndLoader())
+	}
+	s := z.String()
+	if strings.Contains(s, "NaN") || strings.Contains(s, "-") {
+		t.Errorf("zero-value String() malformed: %q", s)
+	}
+	if strings.Contains(s, "cache") {
+		t.Errorf("zero-value String() reports a cache segment: %q", s)
+	}
+}
+
+// TestTimingsAdd: Add accumulates every field, including the compile-job
+// and cache-hit counters.
+func TestTimingsAdd(t *testing.T) {
+	a := Timings{Parse: 1, Elaborate: 2, Check: 3, Schedule: 4,
+		Flatten: 5, Compile: 6, Link: 7, Load: 8, CompileJobs: 3, CacheHits: 1}
+	b := Timings{Parse: 10, Compile: 60, CompileJobs: 2, CacheHits: 2}
+	a.Add(b)
+	want := Timings{Parse: 11, Elaborate: 2, Check: 3, Schedule: 4,
+		Flatten: 5, Compile: 66, Link: 7, Load: 8, CompileJobs: 5, CacheHits: 3}
+	if a != want {
+		t.Errorf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+// TestTimingsStringCacheSegment: the cache segment appears exactly when
+// hits were recorded.
+func TestTimingsStringCacheSegment(t *testing.T) {
+	tm := Timings{Compile: time.Millisecond, CompileJobs: 3, CacheHits: 2}
+	if s := tm.String(); !strings.Contains(s, "cache 2/3 hits") {
+		t.Errorf("String() = %q, want a cache 2/3 segment", s)
+	}
+	tm.CacheHits = 0
+	if s := tm.String(); strings.Contains(s, "cache") {
+		t.Errorf("String() = %q, want no cache segment without hits", s)
+	}
+}
+
+// assertTimingsSane checks the invariants every build's Timings must
+// satisfy: no negative phase, and the two aggregate views partition the
+// total.
+func assertTimingsSane(t *testing.T, tm Timings) {
+	t.Helper()
+	for _, p := range tm.Phases() {
+		if p.D < 0 {
+			t.Errorf("phase %s negative: %v", p.Name, p.D)
+		}
+	}
+	if tm.KnitProper()+tm.CompilerAndLoader() != tm.Total() {
+		t.Errorf("KnitProper %v + CompilerAndLoader %v != Total %v",
+			tm.KnitProper(), tm.CompilerAndLoader(), tm.Total())
+	}
+	if tm.CacheHits > tm.CompileJobs {
+		t.Errorf("cache hits %d exceed compile jobs %d", tm.CacheHits, tm.CompileJobs)
+	}
+}
+
+// TestTimingsSkippedPhases: phases that are off must report exactly
+// zero, not garbage — flatten when Options.Flatten is false, check when
+// Options.Check is false.
+func TestTimingsSkippedPhases(t *testing.T) {
+	opts := logServeOptions()
+	opts.Check = false // Flatten already off in the fixture
+	res, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	assertTimingsSane(t, tm)
+	if tm.Flatten != 0 {
+		t.Errorf("flatten off but Flatten = %v", tm.Flatten)
+	}
+	if tm.Check != 0 {
+		t.Errorf("check off but Check = %v", tm.Check)
+	}
+	if tm.CompileJobs == 0 {
+		t.Error("C sources present but CompileJobs = 0")
+	}
+	if tm.CacheHits != 0 {
+		t.Errorf("no cache configured but CacheHits = %d", tm.CacheHits)
+	}
+	for _, name := range []string{"parse", "elaborate", "compile", "link", "load"} {
+		found := false
+		for _, p := range tm.Phases() {
+			if p.Name == name && p.D > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("phase %s recorded no time on a real build", name)
+		}
+	}
+}
+
+// TestTimingsAllAssemblyProgram: a program with no C sources runs zero
+// compile jobs; the counters and the cache segment must reflect that
+// even with a cache configured.
+func TestTimingsAllAssemblyProgram(t *testing.T) {
+	units := `
+bundletype Str = { strlen_ }
+
+unit AsmStr = {
+  exports [ str : Str ];
+  files { "str.s" };
+}
+`
+	src := `
+func strlen_ nargs=1 nregs=5
+  const r1, 0
+  const r2, 1
+scan:
+  bin r3, r0, +, r1
+  load r3, r3
+  branch r3, more, done
+more:
+  bin r1, r1, +, r2
+  jump scan
+done:
+  ret r1
+`
+	res, err := Build(Options{
+		Top:       "AsmStr",
+		UnitFiles: map[string]string{"asm.unit": units},
+		Sources:   map[string]string{"str.s": src},
+		Cache:     NewCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	assertTimingsSane(t, tm)
+	if tm.CompileJobs != 0 {
+		t.Errorf("all-assembly program ran %d compile jobs, want 0", tm.CompileJobs)
+	}
+	if tm.CacheHits != 0 {
+		t.Errorf("all-assembly program recorded %d cache hits, want 0", tm.CacheHits)
+	}
+	if strings.Contains(tm.String(), "cache") {
+		t.Errorf("String() = %q, want no cache segment", tm.String())
+	}
+}
