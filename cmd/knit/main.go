@@ -34,6 +34,7 @@ func main() {
 		srcDir   = flag.String("src", "", "directory for C sources (default: unit file directory)")
 		run      = flag.String("run", "", "exported function to execute, as bundle.symbol")
 		arg      = flag.Int64("arg", 0, "argument passed to the executed function")
+		fuel     = flag.Int64("fuel", 0, "instruction budget per machine run; a component exceeding it traps instead of hanging (0 = unlimited)")
 		check    = flag.Bool("check", true, "run the constraint checker")
 		optimize = flag.Bool("O", false, "enable the optimizer")
 		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
@@ -128,6 +129,7 @@ func main() {
 			fail(fmt.Errorf("-run wants bundle.symbol, got %q", *run))
 		}
 		m := res.NewMachine()
+		m.Fuel = *fuel
 		con := machine.InstallConsole(m)
 		ser := machine.InstallSerial(m)
 		machine.InstallStopWatch(m)

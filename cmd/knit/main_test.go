@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -142,5 +143,54 @@ func TestCLICacheAndJobs(t *testing.T) {
 		if !strings.HasSuffix(e.Name(), ".knitobj") {
 			t.Errorf("unexpected cache entry %q", e.Name())
 		}
+	}
+}
+
+// TestCLIFuelBudget is the -fuel flag's path: a machine with a small
+// instruction budget must stop the webserver run with a budget trap
+// attributed to a unit instance, instead of running to completion.
+func TestCLIFuelBudget(t *testing.T) {
+	dir := filepath.Join("testdata", "webserver")
+	unitPath := filepath.Join(dir, "web.unit")
+	data, err := os.ReadFile(unitPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitFiles := map[string]string{unitPath: string(data)}
+	sources, err := loadSources(unitFiles, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := build.Build(build.Options{
+		Top:       "LogServe",
+		UnitFiles: unitFiles,
+		Sources:   sources,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.NewMachine()
+	m.Fuel = 40 // far less than the webserver run needs
+	machine.InstallConsole(m)
+	_, err = res.Run(m, "main", "run", 0)
+	if err == nil {
+		t.Fatal("run completed inside a 40-instruction fuel budget")
+	}
+	var trap *machine.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %T, want a machine trap: %v", err, err)
+	}
+	if trap.Kind != machine.TrapBudgetExhausted {
+		t.Errorf("trap kind = %v, want TrapBudgetExhausted", trap.Kind)
+	}
+	if !strings.Contains(err.Error(), "fuel budget") || !strings.Contains(err.Error(), "unit ") {
+		t.Errorf("error %q lacks fuel/unit attribution", err)
+	}
+	// With the budget lifted, the same program runs to completion.
+	m2 := res.NewMachine()
+	machine.InstallConsole(m2)
+	if v, err := res.Run(m2, "main", "run", 0); err != nil || v != 200 {
+		t.Errorf("unbudgeted run = %d, %v; want 200", v, err)
 	}
 }

@@ -88,6 +88,20 @@ func main() {
 		log.Fatal("expected the interrupt module to be rejected")
 	}
 	fmt.Printf("interrupt module rejected at the dynamic boundary:\n  %v\n", err)
+
+	// Unload the monitor again: its finalizers run and its code, data,
+	// and symbols are reclaimed from the live machine — the kernel keeps
+	// running without it.
+	if err := mon.Unload(m); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(sample); err == nil {
+		log.Fatal("monitor export still resolvable after unload")
+	}
+	if _, err := m.Run(bump); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("monitor module unloaded; its exports are gone, the kernel still runs")
 }
 
 // embeddedSources exposes the embedded .c files as the build's virtual

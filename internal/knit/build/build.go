@@ -246,6 +246,9 @@ func Build(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Link-time symbol map: lets the machine attribute runtime traps to
+	// the unit instance owning the faulting function.
+	img.SymbolOwner = prog.SymbolOwners()
 	res.Image = img
 	return res, nil
 }

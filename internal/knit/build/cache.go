@@ -1,6 +1,7 @@
 package build
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
@@ -110,30 +111,55 @@ func (c *Cache) entryPath(key string) string {
 	return filepath.Join(c.dir, key+".knitobj")
 }
 
-// readDisk loads one entry from the backing directory; any failure is
-// a miss (the cache is best-effort).
+// Disk entry framing: a sha256 digest of the gob payload, then the
+// payload. The digest makes every form of on-disk damage — truncation,
+// bit flips, a half-written file from a crashed writer — a detectable
+// integrity failure, and therefore a cache miss rather than a poisoned
+// build. (gob alone would accept some corrupted inputs.)
+const diskDigestLen = sha256.Size
+
+// readDisk loads one entry from the backing directory; any failure —
+// open error, short file, digest mismatch, undecodable payload — is a
+// miss (the cache is best-effort and self-healing: the entry is simply
+// rewritten on the next store).
 func (c *Cache) readDisk(key string) *obj.File {
-	f, err := os.Open(c.entryPath(key))
-	if err != nil {
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil || len(data) < diskDigestLen {
 		return nil
 	}
-	defer f.Close()
+	payload := data[diskDigestLen:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[:diskDigestLen]) {
+		return nil
+	}
 	var o obj.File
-	if err := gob.NewDecoder(f).Decode(&o); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&o); err != nil {
 		return nil
 	}
 	return &o
 }
 
 // writeDisk persists one entry atomically (temp file + rename), so a
-// concurrent reader never sees a half-written object. Called with
-// c.mu released; the entry is immutable once stored.
+// concurrent reader never sees a half-written object. Entries are
+// content-addressed, so two processes racing the same key write
+// identical bytes: whoever renames last simply replaces the file with
+// an equal one, and a lost rename (some platforms refuse to replace an
+// existing file) still leaves a valid entry behind. Called with c.mu
+// released; the entry is immutable once stored.
 func (c *Cache) writeDisk(key string, o *obj.File) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
+		return
+	}
+	sum := sha256.Sum256(buf.Bytes())
 	tmp, err := os.CreateTemp(c.dir, "tmp-*.knitobj")
 	if err != nil {
 		return
 	}
-	if err := gob.NewEncoder(tmp).Encode(o); err != nil {
+	if _, err := tmp.Write(sum[:]); err == nil {
+		_, err = tmp.Write(buf.Bytes())
+	}
+	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return
@@ -143,6 +169,8 @@ func (c *Cache) writeDisk(key string, o *obj.File) {
 		return
 	}
 	if err := os.Rename(tmp.Name(), c.entryPath(key)); err != nil {
+		// A concurrent writer may have won the rename; their entry has
+		// the same content, so losing the race is success.
 		os.Remove(tmp.Name())
 	}
 }

@@ -1,6 +1,7 @@
 package build
 
 import (
+	"sync"
 	"testing"
 
 	"knit/internal/asm"
@@ -280,5 +281,72 @@ func TestParallelCompileError(t *testing.T) {
 		} else if err.Error() != want {
 			t.Fatalf("nondeterministic error under -j 8:\n  %s\nvs\n  %s", want, err.Error())
 		}
+	}
+}
+
+// TestCacheConcurrentWriters races several independent Cache instances
+// (as separate knit processes would be) over one backing directory,
+// all building the same program at once. Entry writes go through a
+// temp-file rename, so whatever interleaving happens, a reader must
+// only ever see absent or complete entries — and the final warm build
+// must be served entirely from disk, identical to a cold build.
+func TestCacheConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := Build(logServeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	objs := make([]string, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := OpenCache(dir) // one instance per "process"
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			opts := logServeOptions()
+			opts.Cache = c
+			res, err := Build(opts)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			objs[w] = asm.Format(res.Object)
+		}(w)
+	}
+	wg.Wait()
+	want := asm.Format(ref.Object)
+	for w := 0; w < writers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("writer %d: %v", w, errs[w])
+		}
+		if objs[w] != want {
+			t.Errorf("writer %d built a different object", w)
+		}
+	}
+
+	// A fresh cache over the racily written directory serves everything.
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := logServeOptions()
+	opts.Cache = c
+	warm, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Timings.CacheHits != warm.Timings.CompileJobs {
+		t.Errorf("after concurrent writers, warm build hit %d of %d jobs",
+			warm.Timings.CacheHits, warm.Timings.CompileJobs)
+	}
+	if asm.Format(warm.Object) != want {
+		t.Error("object rebuilt from racily written cache differs")
 	}
 }

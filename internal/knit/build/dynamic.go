@@ -31,10 +31,18 @@ type DynamicUnit struct {
 	Check bool
 }
 
-// LoadedUnit is a successfully loaded dynamic module.
+// LoadedUnit is a successfully loaded dynamic module. It is the handle
+// for the module's exports and for unloading it again.
 type LoadedUnit struct {
 	Instance *link.Instance
+
+	res     *Result
+	modName string // machine-level module name, e.g. "dynamic/MonitorU#4"
 }
+
+// Name returns the module's machine-level name (unique per live module
+// on a machine).
+func (lu *LoadedUnit) Name() string { return lu.modName }
 
 // ExportSymbol resolves one of the module's export bundle symbols to its
 // global name, suitable for machine.M.Run.
@@ -50,9 +58,10 @@ func (lu *LoadedUnit) ExportSymbol(bundle, sym string) (string, error) {
 // LoadDynamic elaborates du.Unit against the live machine m, re-checks
 // constraints at the dynamic boundary when du.Check is set, compiles the
 // instance, loads it into m, and runs its initializers. On any error —
-// including a constraint violation — nothing is loaded and the machine
-// is unchanged. Finalizers of dynamic modules are not scheduled; a
-// loaded module lives as long as its machine.
+// including a constraint violation or a failing initializer — nothing
+// stays loaded and the machine is restored to its pre-load state, so a
+// rejected module leaves zero residue. A loaded module lives until
+// LoadedUnit.Unload (or machine reset); its finalizers run at unload.
 func (r *Result) LoadDynamic(m *machine.M, du DynamicUnit) (*LoadedUnit, error) {
 	st := r.stateOf(m)
 
@@ -107,21 +116,99 @@ func (r *Result) LoadDynamic(m *machine.M, du DynamicUnit) (*LoadedUnit, error) 
 	if err != nil {
 		return nil, err
 	}
-	if err := m.LoadDynamic(o); err != nil {
+	// The module name and attribution carry the instance ID so repeated
+	// loads of the same unit stay distinguishable.
+	modName := fmt.Sprintf("%s#%d", inst.Path, inst.ID)
+	snap := m.Snapshot()
+	if err := m.LoadDynamicAs(modName, modName, o); err != nil {
 		return nil, err
 	}
+	// A failed dynamic initializer rolls the machine back to its
+	// pre-load snapshot: the module's code, data, and symbols vanish
+	// along with any partial initialization.
 	for _, ini := range inst.Inits {
 		if ini.Finalizer {
 			continue
 		}
 		if _, err := m.Run(ini.GlobalName); err != nil {
-			return nil, fmt.Errorf("knit: dynamic unit %s: initializer %s: %w",
-				du.Unit, ini.Func, err)
+			m.Restore(snap)
+			return nil, &LifecycleError{
+				Op:         "dynamic-init",
+				Unit:       modName,
+				Func:       ini.Func,
+				Global:     ini.GlobalName,
+				Err:        err,
+				RolledBack: true,
+			}
 		}
 	}
 
 	st.loaded = append(st.loaded, inst)
-	return &LoadedUnit{Instance: inst}, nil
+	return &LoadedUnit{Instance: inst, res: r, modName: modName}, nil
+}
+
+// Unload reverses a LoadDynamic on m: it verifies that no still-live
+// module imports this module's exports (refusing with an error that
+// names the dependent, mirroring the load-time constraint re-check),
+// runs the module's finalizers in reverse declaration order, and
+// reclaims its text, data, and symbol-table entries from the machine.
+// Unloading is transactional: if a finalizer fails, the machine is
+// restored to its pre-unload state, the module stays loaded, and the
+// returned *LifecycleError names the failing finalizer.
+func (lu *LoadedUnit) Unload(m *machine.M) error {
+	r := lu.res
+	if r == nil {
+		return fmt.Errorf("knit: unload: module handle was not produced by LoadDynamic")
+	}
+	st := r.stateOf(m)
+	idx := -1
+	for i, inst := range st.loaded {
+		if inst == lu.Instance {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("knit: unload %s: module is not loaded on this machine", lu.modName)
+	}
+	// Liveness re-check at the dynamic boundary: a module whose exports
+	// are wired into a still-live importer must stay.
+	for _, other := range st.loaded {
+		if other == lu.Instance {
+			continue
+		}
+		for local, w := range other.ImportWires {
+			if w != nil && w.Provider == lu.Instance {
+				return fmt.Errorf(
+					"knit: cannot unload %s: live module %s imports %q from its bundle %q (unload the importer first)",
+					lu.modName, other.Path, local, w.Bundle)
+			}
+		}
+	}
+	snap := m.Snapshot()
+	for i := len(lu.Instance.Inits) - 1; i >= 0; i-- {
+		ini := lu.Instance.Inits[i]
+		if !ini.Finalizer {
+			continue
+		}
+		if _, err := m.Run(ini.GlobalName); err != nil {
+			m.Restore(snap)
+			return &LifecycleError{
+				Op:         "unload",
+				Unit:       lu.modName,
+				Func:       ini.Func,
+				Global:     ini.GlobalName,
+				Err:        err,
+				RolledBack: true,
+			}
+		}
+	}
+	if err := m.UnloadDynamic(lu.modName); err != nil {
+		m.Restore(snap)
+		return err
+	}
+	st.loaded = append(st.loaded[:idx], st.loaded[idx+1:]...)
+	return nil
 }
 
 // mergeRegistry extends a base registry with newly parsed unit files,

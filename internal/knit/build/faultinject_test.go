@@ -1,0 +1,746 @@
+package build
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"knit/internal/knit/build/faultinject"
+	"knit/internal/knit/link"
+	"knit/internal/machine"
+)
+
+// The lifecycle fixture: a three-component chain A <- B <- C where each
+// component's initializer records a positive probe id and its finalizer
+// the negative id, so tests can assert exactly which lifecycle steps
+// ran and in which order.
+const chainUnits = `
+bundletype Svc = { get }
+
+unit A = {
+  exports [ a : Svc ];
+  initializer a_init for a;
+  finalizer a_fini for a;
+  files { "a.c" };
+  rename { a.get to a_get; };
+}
+unit B = {
+  imports [ a : Svc ];
+  exports [ b : Svc ];
+  initializer b_init for b;
+  finalizer b_fini for b;
+  depends { b needs a; b_init needs a; };
+  files { "b.c" };
+  rename { a.get to a_get; b.get to b_get; };
+}
+unit C = {
+  imports [ b : Svc ];
+  exports [ c : Svc ];
+  initializer c_init for c;
+  finalizer c_fini for c;
+  depends { c needs b; c_init needs b; };
+  files { "c.c" };
+  rename { b.get to b_get; c.get to c_get; };
+}
+unit Chain = {
+  exports [ a : Svc, b : Svc, c : Svc ];
+  link {
+    [a] <- A <- [];
+    [b] <- B <- [a];
+    [c] <- C <- [b];
+  };
+}
+`
+
+var chainSources = link.Sources{
+	"a.c": `
+extern int __probe(int id);
+static int state;
+void a_init(void) { __probe(1); state = 10; }
+void a_fini(void) { __probe(-1); state = 0; }
+int a_get(void) { return state; }
+`,
+	"b.c": `
+extern int __probe(int id);
+int a_get(void);
+static int state;
+void b_init(void) { __probe(2); state = a_get() + 10; }
+void b_fini(void) { __probe(-2); state = 0; }
+int b_get(void) { return state; }
+`,
+	"c.c": `
+extern int __probe(int id);
+int b_get(void);
+static int state;
+void c_init(void) { __probe(3); state = b_get() + 10; }
+void c_fini(void) { __probe(-3); state = 0; }
+int c_get(void) { return state; }
+`,
+}
+
+func buildChain(t *testing.T) *Result {
+	t.Helper()
+	res, err := Build(Options{
+		Top:       "Chain",
+		UnitFiles: map[string]string{"chain.unit": chainUnits},
+		Sources:   chainSources,
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatalf("Build chain: %v", err)
+	}
+	return res
+}
+
+// probeMachine returns a chain machine plus the probe event log its
+// lifecycle functions append to.
+func probeMachine(res *Result) (*machine.M, *[]int64) {
+	m := res.NewMachine()
+	events := &[]int64{}
+	m.RegisterBuiltin("__probe", func(_ *machine.M, args []int64) (int64, error) {
+		*events = append(*events, args[0])
+		return 0, nil
+	})
+	return m, events
+}
+
+var errBoom = errors.New("injected failure")
+
+// TestInitRollbackAtEverySchedulePosition fails the k-th initializer
+// for every schedule position k and asserts, each time, that (a) the
+// error is a structured LifecycleError naming the failing unit instance
+// and initializer, (b) exactly the fully-initialized components were
+// finalized, in reverse schedule order, and (c) the machine memory is
+// bit-identical to a never-initialized machine — no test may observe a
+// half-initialized machine.
+func TestInitRollbackAtEverySchedulePosition(t *testing.T) {
+	res := buildChain(t)
+	if len(res.Schedule.Inits) != 3 {
+		t.Fatalf("schedule has %d inits, want 3: %v", len(res.Schedule.Inits), res.Schedule.Inits)
+	}
+	wantFuncs := []string{"a_init", "b_init", "c_init"}
+	// Probe trace per failing position: inits 0..k-1 fire, then the
+	// finalizers of those same components in reverse order.
+	wantEvents := [][]int64{
+		{},
+		{1, -1},
+		{1, 2, -2, -1},
+	}
+	for k := range res.Schedule.Inits {
+		m, events := probeMachine(res)
+		pristine := res.NewMachine()
+		in := faultinject.Attach(m)
+		in.FailNthRun(k, errBoom)
+
+		err := res.RunInit(m)
+		if err == nil {
+			t.Fatalf("k=%d: RunInit succeeded despite injected failure", k)
+		}
+		var lerr *LifecycleError
+		if !errors.As(err, &lerr) {
+			t.Fatalf("k=%d: error is %T, want *LifecycleError: %v", k, err, err)
+		}
+		if !errors.Is(err, errBoom) {
+			t.Errorf("k=%d: error chain does not reach the injected failure: %v", k, err)
+		}
+		step := res.Schedule.InitSteps[k]
+		if lerr.Op != "init" || lerr.Unit != step.Instance || lerr.Func != wantFuncs[k] {
+			t.Errorf("k=%d: LifecycleError = op %q unit %q func %q, want init/%q/%q",
+				k, lerr.Op, lerr.Unit, lerr.Func, step.Instance, wantFuncs[k])
+		}
+		if !lerr.RolledBack {
+			t.Errorf("k=%d: rollback not reported", k)
+		}
+		if len(lerr.RollbackErrs) != 0 {
+			t.Errorf("k=%d: unexpected rollback failures: %v", k, lerr.RollbackErrs)
+		}
+		if !reflect.DeepEqual(*events, wantEvents[k]) {
+			t.Errorf("k=%d: probe events %v, want %v", k, *events, wantEvents[k])
+		}
+		if !reflect.DeepEqual(m.Mem, pristine.Mem) {
+			t.Errorf("k=%d: machine memory differs from pre-init state after rollback", k)
+		}
+
+		// Satellite regression: retry after a failed init is safe and
+		// re-runs the full schedule from the clean state.
+		in.Clear()
+		*events = nil
+		if err := res.RunInit(m); err != nil {
+			t.Fatalf("k=%d: retry RunInit: %v", k, err)
+		}
+		if !reflect.DeepEqual(*events, []int64{1, 2, 3}) {
+			t.Errorf("k=%d: retry probe events %v, want [1 2 3]", k, *events)
+		}
+		for i, bundle := range []string{"a", "b", "c"} {
+			get, err := res.Export(bundle, "get")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := m.Run(get)
+			if err != nil {
+				t.Fatalf("k=%d: %s.get after retry: %v", k, bundle, err)
+			}
+			if want := int64(10 * (i + 1)); v != want {
+				t.Errorf("k=%d: %s.get = %d after retry, want %d", k, bundle, v, want)
+			}
+		}
+	}
+}
+
+// TestRollbackCollectsFinalizerFailures makes a finalizer fail during
+// the rollback itself: the failure must be collected in RollbackErrs
+// (naming its own unit instance), not mask the original error, and the
+// machine must still be restored.
+func TestRollbackCollectsFinalizerFailures(t *testing.T) {
+	res := buildChain(t)
+	finGlobal := ""
+	finUnit := ""
+	for _, fs := range res.Schedule.FinSteps {
+		if fs.Func == "b_fini" {
+			finGlobal, finUnit = fs.Global, fs.Instance
+		}
+	}
+	if finGlobal == "" {
+		t.Fatalf("schedule has no b_fini step: %+v", res.Schedule.FinSteps)
+	}
+
+	m, events := probeMachine(res)
+	pristine := res.NewMachine()
+	in := faultinject.Attach(m)
+	in.FailNthRun(2, errBoom) // c_init fails...
+	errFin := errors.New("finalizer exploded")
+	in.FailEntry(finGlobal, errFin) // ...and b_fini fails while unwinding
+
+	err := res.RunInit(m)
+	var lerr *LifecycleError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("error is %T, want *LifecycleError: %v", err, err)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("original init failure was masked: %v", err)
+	}
+	if len(lerr.RollbackErrs) != 1 {
+		t.Fatalf("RollbackErrs = %v, want exactly the b_fini failure", lerr.RollbackErrs)
+	}
+	var ferr *LifecycleError
+	if !errors.As(lerr.RollbackErrs[0], &ferr) {
+		t.Fatalf("rollback error is %T, want *LifecycleError", lerr.RollbackErrs[0])
+	}
+	if ferr.Op != "fini" || ferr.Func != "b_fini" || ferr.Unit != finUnit || !errors.Is(ferr, errFin) {
+		t.Errorf("rollback failure = op %q unit %q func %q (%v), want fini/%s/b_fini wrapping the injected error",
+			ferr.Op, ferr.Unit, ferr.Func, ferr.Err, finUnit)
+	}
+	// a_fini still ran (b_fini's failure does not stop the unwind), and
+	// the machine is restored regardless.
+	if !reflect.DeepEqual(*events, []int64{1, 2, -1}) {
+		t.Errorf("probe events %v, want [1 2 -1]", *events)
+	}
+	if !reflect.DeepEqual(m.Mem, pristine.Mem) {
+		t.Error("machine memory differs from pre-init state after rollback with finalizer failure")
+	}
+}
+
+// TestBuiltinFaultInjection injects a failure into a device builtin
+// that initializers depend on — the B component's init is the first to
+// hit the dead device, and the rollback must survive the same dead
+// device in A's finalizer (collected, not masked).
+func TestBuiltinFaultInjection(t *testing.T) {
+	res := buildChain(t)
+	m, _ := probeMachine(res)
+	pristine := res.NewMachine()
+	in := faultinject.Attach(m)
+	if err := in.FailBuiltinAfter("__probe", 1, errBoom); err != nil {
+		t.Fatal(err)
+	}
+
+	err := res.RunInit(m)
+	var lerr *LifecycleError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("error is %T, want *LifecycleError: %v", err, err)
+	}
+	if lerr.Func != "b_init" {
+		t.Errorf("failing step = %q, want b_init (first init past the builtin budget)", lerr.Func)
+	}
+	if len(lerr.RollbackErrs) != 1 {
+		t.Errorf("RollbackErrs = %v, want the a_fini failure against the dead builtin", lerr.RollbackErrs)
+	}
+	if !reflect.DeepEqual(m.Mem, pristine.Mem) {
+		t.Error("machine memory not restored after builtin-failure rollback")
+	}
+
+	// Clear restores the real builtin; the retry initializes cleanly.
+	in.Clear()
+	if err := res.RunInit(m); err != nil {
+		t.Fatalf("retry after builtin fault: %v", err)
+	}
+}
+
+// TestDynamicInitFailureLeavesZeroResidue loads a module whose
+// initializer traps: the machine must be byte-identical to its pre-load
+// state — no module record, no symbols, no appended memory — and a
+// subsequent good load of the same unit must work.
+func TestDynamicInitFailureLeavesZeroResidue(t *testing.T) {
+	res := buildChain(t)
+	m, _ := probeMachine(res)
+	if err := res.RunInit(m); err != nil {
+		t.Fatal(err)
+	}
+	memBefore := len(m.Mem)
+
+	badUnits := `
+bundletype Probe = { probe_get }
+unit DBad = {
+  exports [ p : Probe ];
+  initializer p_init for p;
+  files { "dbad.c" };
+}
+`
+	badSources := link.Sources{
+		"dbad.c": `
+extern int __boom(void);
+static int state;
+void p_init(void) { state = __boom(); }
+int probe_get(void) { return state; }
+`,
+	}
+	_, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "DBad",
+		UnitFiles: map[string]string{"dbad.unit": badUnits},
+		Sources:   badSources,
+		Check:     true,
+	})
+	var lerr *LifecycleError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("error is %T, want *LifecycleError: %v", err, err)
+	}
+	if lerr.Op != "dynamic-init" || lerr.Func != "p_init" || !lerr.RolledBack {
+		t.Errorf("LifecycleError = op %q func %q rolledBack %v, want dynamic-init/p_init/true",
+			lerr.Op, lerr.Func, lerr.RolledBack)
+	}
+	if !strings.Contains(lerr.Unit, "DBad") {
+		t.Errorf("LifecycleError.Unit = %q does not name the dynamic unit", lerr.Unit)
+	}
+	var trap *machine.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("underlying error is not a machine trap: %v", err)
+	}
+	if trap.Kind != machine.TrapUndefinedCall || !strings.Contains(trap.Unit, "DBad") {
+		t.Errorf("trap = kind %v unit %q, want TrapUndefinedCall attributed to the DBad instance", trap.Kind, trap.Unit)
+	}
+
+	// Zero residue: no memory growth, no module record, no symbols.
+	if len(m.Mem) != memBefore {
+		t.Errorf("memory grew from %d to %d words across a rejected load", memBefore, len(m.Mem))
+	}
+	if mods := m.DynModules(); len(mods) != 0 {
+		t.Errorf("live modules after rejected load: %v", mods)
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Error(err)
+	}
+	cGet, _ := res.Export("c", "get")
+	if v, err := m.Run(cGet); err != nil || v != 30 {
+		t.Errorf("base program damaged by rejected load: c.get = %d, %v", v, err)
+	}
+
+	// A well-behaved module still loads after the rejected one.
+	goodUnits := `
+bundletype Probe = { probe_get }
+unit DGood = {
+  imports [ c : Svc ];
+  exports [ p : Probe ];
+  depends { p needs c; };
+  files { "dgood.c" };
+  rename { c.get to c_get; };
+}
+`
+	goodSources := link.Sources{
+		"dgood.c": `
+int c_get(void);
+int probe_get(void) { return c_get() + 1; }
+`,
+	}
+	lu, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "DGood",
+		UnitFiles: map[string]string{"dgood.unit": goodUnits},
+		Sources:   goodSources,
+		Wiring:    map[string]string{"c": "c"},
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatalf("LoadDynamic after rejected load: %v", err)
+	}
+	pg, _ := lu.ExportSymbol("p", "probe_get")
+	if v, err := m.Run(pg); err != nil || v != 31 {
+		t.Errorf("probe_get = %d, %v; want 31", v, err)
+	}
+}
+
+// TestUnloadDynamicModule unloads a loaded module and asserts its
+// symbols, memory, and module record are fully reclaimed — and that the
+// same unit can be loaded again afterwards.
+func TestUnloadDynamicModule(t *testing.T) {
+	res := buildChain(t)
+	m, _ := probeMachine(res)
+	if err := res.RunInit(m); err != nil {
+		t.Fatal(err)
+	}
+	memBefore := len(m.Mem)
+
+	monUnits := `
+bundletype Mon = { sample }
+unit MonU = {
+  imports [ c : Svc ];
+  exports [ mon : Mon ];
+  initializer mon_init for mon;
+  finalizer mon_fini for mon;
+  depends { mon needs c; mon_init needs c; };
+  files { "mon.c" };
+  rename { c.get to c_get; };
+}
+`
+	monSources := link.Sources{
+		"mon.c": `
+extern int __probe(int id);
+int c_get(void);
+static int baseline;
+void mon_init(void) { __probe(7); baseline = c_get(); }
+void mon_fini(void) { __probe(-7); baseline = 0; }
+int sample(void) { return c_get() - baseline; }
+`,
+	}
+	load := func() *LoadedUnit {
+		t.Helper()
+		lu, err := res.LoadDynamic(m, DynamicUnit{
+			Unit:      "MonU",
+			UnitFiles: map[string]string{"mon.unit": monUnits},
+			Sources:   monSources,
+			Wiring:    map[string]string{"c": "c"},
+			Check:     true,
+		})
+		if err != nil {
+			t.Fatalf("LoadDynamic: %v", err)
+		}
+		return lu
+	}
+	lu := load()
+	sample, err := lu.ExportSymbol("mon", "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Run(sample); err != nil || v != 0 {
+		t.Fatalf("sample = %d, %v; want 0", v, err)
+	}
+
+	if err := lu.Unload(m); err != nil {
+		t.Fatalf("Unload: %v", err)
+	}
+	if mods := m.DynModules(); len(mods) != 0 {
+		t.Errorf("live modules after unload: %v", mods)
+	}
+	if len(m.Mem) != memBefore {
+		t.Errorf("memory not reclaimed: %d words, want %d", len(m.Mem), memBefore)
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.Run(sample); err == nil {
+		t.Error("unloaded module's export still runnable")
+	}
+	// Unloading twice reports a structured refusal, not corruption.
+	if err := lu.Unload(m); err == nil || !strings.Contains(err.Error(), "not loaded") {
+		t.Errorf("double unload error = %v, want 'not loaded'", err)
+	}
+
+	// The same unit loads again into the clean machine.
+	lu2 := load()
+	sample2, _ := lu2.ExportSymbol("mon", "sample")
+	if v, err := m.Run(sample2); err != nil || v != 0 {
+		t.Errorf("sample after reload = %d, %v; want 0", v, err)
+	}
+}
+
+// TestUnloadRefusedWhileImported wires a second module to the first
+// one's exports: unloading the provider must be refused with an error
+// naming the live importer, leaving both modules intact, until the
+// importer is unloaded first.
+func TestUnloadRefusedWhileImported(t *testing.T) {
+	res := buildChain(t)
+	m, _ := probeMachine(res)
+	if err := res.RunInit(m); err != nil {
+		t.Fatal(err)
+	}
+	monUnits := `
+bundletype Mon = { sample }
+unit MonU = {
+  imports [ c : Svc ];
+  exports [ mon : Mon ];
+  depends { mon needs c; };
+  files { "mon.c" };
+  rename { c.get to c_get; };
+}
+`
+	monSources := link.Sources{
+		"mon.c": `
+int c_get(void);
+int sample(void) { return c_get(); }
+`,
+	}
+	alarmUnits := `
+bundletype Mon = { sample }
+bundletype Alarm = { alarm_over }
+unit AlarmU = {
+  imports [ mon : Mon ];
+  exports [ alarm : Alarm ];
+  depends { alarm needs mon; };
+  files { "alarm.c" };
+}
+`
+	alarmSources := link.Sources{
+		"alarm.c": `
+int sample(void);
+int alarm_over(int limit) { return sample() > limit; }
+`,
+	}
+	mon, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "MonU",
+		UnitFiles: map[string]string{"mon.unit": monUnits},
+		Sources:   monSources,
+		Wiring:    map[string]string{"c": "c"},
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "AlarmU",
+		UnitFiles: map[string]string{"alarm.unit": alarmUnits},
+		Sources:   alarmSources,
+		Wiring:    map[string]string{"mon": "mon"},
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = mon.Unload(m)
+	if err == nil {
+		t.Fatal("unloading an imported-from module was allowed")
+	}
+	if !strings.Contains(err.Error(), "AlarmU") || !strings.Contains(err.Error(), "unload the importer first") {
+		t.Errorf("refusal %q does not name the live importer", err)
+	}
+	// Both modules still work after the refusal.
+	over, _ := alarm.ExportSymbol("alarm", "alarm_over")
+	if v, err := m.Run(over, 5); err != nil || v != 1 {
+		t.Errorf("alarm_over(5) = %d, %v after refused unload; want 1", v, err)
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Error(err)
+	}
+
+	// Unload in dependency order succeeds.
+	if err := alarm.Unload(m); err != nil {
+		t.Fatalf("unload importer: %v", err)
+	}
+	if err := mon.Unload(m); err != nil {
+		t.Fatalf("unload provider after importer gone: %v", err)
+	}
+	if mods := m.DynModules(); len(mods) != 0 {
+		t.Errorf("live modules after ordered unload: %v", mods)
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnloadFinalizerFailureRollsBack: a module whose finalizer traps
+// must survive its own failed unload — the machine is restored and the
+// module stays fully loaded and functional.
+func TestUnloadFinalizerFailureRollsBack(t *testing.T) {
+	res := buildChain(t)
+	m, _ := probeMachine(res)
+	if err := res.RunInit(m); err != nil {
+		t.Fatal(err)
+	}
+	units := `
+bundletype Mon = { sample }
+unit Sticky = {
+  imports [ c : Svc ];
+  exports [ mon : Mon ];
+  finalizer mon_fini for mon;
+  depends { mon needs c; };
+  files { "sticky.c" };
+  rename { c.get to c_get; };
+}
+`
+	sources := link.Sources{
+		"sticky.c": `
+extern int __boom(void);
+int c_get(void);
+static int sink;
+void mon_fini(void) { sink = __boom(); }
+int sample(void) { return c_get(); }
+`,
+	}
+	lu, err := res.LoadDynamic(m, DynamicUnit{
+		Unit:      "Sticky",
+		UnitFiles: map[string]string{"sticky.unit": units},
+		Sources:   sources,
+		Wiring:    map[string]string{"c": "c"},
+		Check:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = lu.Unload(m)
+	var lerr *LifecycleError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("error is %T, want *LifecycleError: %v", err, err)
+	}
+	if lerr.Op != "unload" || lerr.Func != "mon_fini" || !lerr.RolledBack {
+		t.Errorf("LifecycleError = op %q func %q rolledBack %v, want unload/mon_fini/true",
+			lerr.Op, lerr.Func, lerr.RolledBack)
+	}
+	// The module is still loaded and functional.
+	if mods := m.DynModules(); len(mods) != 1 {
+		t.Errorf("live modules = %v, want the sticky module", mods)
+	}
+	sample, _ := lu.ExportSymbol("mon", "sample")
+	if v, err := m.Run(sample); err != nil || v != 30 {
+		t.Errorf("sample = %d, %v after failed unload; want 30", v, err)
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFuelBudgetStopsRunawayComponent: an infinite loop in a component
+// becomes a TrapBudgetExhausted attributed to the owning unit instance
+// instead of a hang, and the machine stays usable afterwards (the fuel
+// budget re-arms per run).
+func TestFuelBudgetStopsRunawayComponent(t *testing.T) {
+	units := `
+bundletype Main = { run }
+unit Spinner = {
+  exports [ main : Main ];
+  files { "spin.c" };
+  rename { main.run to spin_run; };
+}
+unit SpinTop = {
+  exports [ main : Main ];
+  link { [main] <- Spinner <- []; };
+}
+`
+	sources := link.Sources{
+		"spin.c": `
+int spin_run(int n) {
+    int i;
+    i = 0;
+    while (1) { i = i + 1; }
+    return i;
+}
+`,
+	}
+	res, err := Build(Options{
+		Top:       "SpinTop",
+		UnitFiles: map[string]string{"spin.unit": units},
+		Sources:   sources,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.NewMachine()
+	m.Fuel = 10000
+	global, err := res.Export("main", "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(global, 0)
+	var trap *machine.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("runaway run returned %T, want *machine.Trap: %v", err, err)
+	}
+	if trap.Kind != machine.TrapBudgetExhausted {
+		t.Errorf("trap kind = %v, want TrapBudgetExhausted", trap.Kind)
+	}
+	if !strings.Contains(trap.Unit, "Spinner") {
+		t.Errorf("trap unit = %q, want attribution to the Spinner instance", trap.Unit)
+	}
+	if !strings.Contains(err.Error(), "fuel budget") || !strings.Contains(err.Error(), "unit ") {
+		t.Errorf("trap message %q lacks fuel/unit attribution", err)
+	}
+	// Executed stopped near the budget: the loop did not run away.
+	if m.Executed > 10000+10 {
+		t.Errorf("executed %d instructions, budget was 10000", m.Executed)
+	}
+	// The budget re-arms: a cheap run on the same machine still works.
+	m.Fuel = 1 << 20
+	if _, err := m.Run(global, 0); err == nil {
+		t.Error("second runaway run unexpectedly succeeded")
+	} else if !errors.As(err, &trap) || trap.Kind != machine.TrapBudgetExhausted {
+		t.Errorf("second run error = %v, want budget trap again (budget re-armed)", err)
+	}
+}
+
+// TestCorruptCacheEntriesAreMisses corrupts and truncates on-disk cache
+// entries between builds: the damaged entries must read as misses (not
+// poisoned objects), the rebuild must succeed, and the rebuilt image
+// must be identical to the cold one.
+func TestCorruptCacheEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	buildWith := func() *Result {
+		t.Helper()
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Build(Options{
+			Top:       "Chain",
+			UnitFiles: map[string]string{"chain.unit": chainUnits},
+			Sources:   chainSources,
+			Check:     true,
+			Cache:     cache,
+		})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return res
+	}
+	cold := buildWith()
+	entries, err := faultinject.CacheEntries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no cache entries written")
+	}
+	// Damage every entry: alternate bit-flips and truncation.
+	for i, path := range entries {
+		if i%2 == 0 {
+			if err := faultinject.CorruptEntry(path, int64(40+i)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := faultinject.TruncateEntry(path, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm := buildWith()
+	if warm.Timings.CacheHits != 0 {
+		t.Errorf("damaged cache served %d hits, want 0 (all entries must read as misses)",
+			warm.Timings.CacheHits)
+	}
+	if !reflect.DeepEqual(warm.Image.FuncAddr, cold.Image.FuncAddr) ||
+		warm.Image.TextSize != cold.Image.TextSize {
+		t.Error("rebuild after cache damage differs from the cold build")
+	}
+	// The rebuild re-wrote good entries: a third build hits cleanly.
+	third := buildWith()
+	if third.Timings.CacheHits != third.Timings.CompileJobs {
+		t.Errorf("self-healed cache hit %d of %d jobs", third.Timings.CacheHits, third.Timings.CompileJobs)
+	}
+}

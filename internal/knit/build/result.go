@@ -1,7 +1,6 @@
 package build
 
 import (
-	"fmt"
 	"sync"
 
 	"knit/internal/compile"
@@ -69,18 +68,51 @@ func (r *Result) Export(bundle, sym string) (string, error) {
 	return r.Program.ExportSymbol(bundle, sym)
 }
 
-// RunInit runs the program's initializers on m, in schedule order. It is
-// idempotent per machine: a second call (including the implicit one
+// RunInit runs the program's initializers on m, in schedule order. It
+// is idempotent per machine: a second call (including the implicit one
 // inside Run) is a no-op.
+//
+// Initialization is transactional. When initializer k fails, the
+// finalizers of the components that did finish initializing run in
+// reverse schedule order (respecting the fine-grained fini dependency
+// ranks from internal/knit/sched — a component whose own initializer
+// never completed is not finalized), the machine is restored to its
+// pre-init snapshot, and the returned *LifecycleError names the failing
+// unit instance, the initializer, and any finalizer failures collected
+// during the rollback. After the error, retrying RunInit is safe: it
+// starts again from a clean machine.
 func (r *Result) RunInit(m *machine.M) error {
 	st := r.stateOf(m)
 	if st.initDone {
 		return nil
 	}
-	for _, name := range r.Schedule.Inits {
-		if _, err := m.Run(name); err != nil {
-			return fmt.Errorf("knit: initializer %s: %w", name, err)
+	snap := m.Snapshot()
+	for i, name := range r.Schedule.Inits {
+		_, err := m.Run(name)
+		if err == nil {
+			continue
 		}
+		step := r.Schedule.InitSteps[i]
+		lerr := &LifecycleError{
+			Op:     "init",
+			Unit:   step.Instance,
+			Func:   step.Func,
+			Global: step.Global,
+			Err:    err,
+		}
+		// Unwind: finalize the fully initialized components, most
+		// recently ready first, collecting (not masking) any failures.
+		for _, j := range r.Schedule.FinsReadyAfter(i) {
+			fin := r.Schedule.FinSteps[j]
+			if _, ferr := m.Run(fin.Global); ferr != nil {
+				lerr.RollbackErrs = append(lerr.RollbackErrs, &LifecycleError{
+					Op: "fini", Unit: fin.Instance, Func: fin.Func, Global: fin.Global, Err: ferr,
+				})
+			}
+		}
+		m.Restore(snap)
+		lerr.RolledBack = true
+		return lerr
 	}
 	st.initDone = true
 	return nil
@@ -88,18 +120,33 @@ func (r *Result) RunInit(m *machine.M) error {
 
 // RunFini runs the program's finalizers on m in schedule order (reverse
 // initialization readiness). Like RunInit it runs at most once per
-// machine.
+// machine. A failing finalizer does not stop the ones after it — every
+// component gets its shutdown chance — and the failures are collected
+// into one *LifecycleError (the first failure leads; the rest ride in
+// RollbackErrs).
 func (r *Result) RunFini(m *machine.M) error {
 	st := r.stateOf(m)
 	if st.finiDone {
 		return nil
 	}
-	for _, name := range r.Schedule.Fins {
-		if _, err := m.Run(name); err != nil {
-			return fmt.Errorf("knit: finalizer %s: %w", name, err)
+	var lerr *LifecycleError
+	for i, name := range r.Schedule.Fins {
+		_, err := m.Run(name)
+		if err == nil {
+			continue
+		}
+		step := r.Schedule.FinSteps[i]
+		fe := &LifecycleError{Op: "fini", Unit: step.Instance, Func: step.Func, Global: step.Global, Err: err}
+		if lerr == nil {
+			lerr = fe
+		} else {
+			lerr.RollbackErrs = append(lerr.RollbackErrs, fe)
 		}
 	}
 	st.finiDone = true
+	if lerr != nil {
+		return lerr
+	}
 	return nil
 }
 

@@ -1,0 +1,62 @@
+package link
+
+import "knit/internal/cmini"
+
+// InstanceSymbols returns every program-unique symbol name an instance
+// defines after renaming: exported bundle symbols, hidden (suffixed)
+// globals, file statics, and assembly-object definitions. It is the
+// link-time symbol map that lets the machine attribute a runtime trap
+// back to the owning unit instance.
+func InstanceSymbols(inst *Instance) []string {
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+		}
+	}
+	for _, syms := range inst.ExportSyms {
+		for _, global := range syms {
+			add(global)
+		}
+	}
+	// Files are already instance-renamed, so declaration names are the
+	// final global names.
+	for _, f := range inst.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *cmini.VarDecl:
+				if !d.Extern {
+					add(d.Name)
+				}
+			case *cmini.FuncDecl:
+				if d.Body != nil {
+					add(d.Name)
+				}
+			}
+		}
+	}
+	for _, o := range inst.Objects {
+		for _, s := range o.Syms {
+			if s.Defined {
+				add(s.Name)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	return out
+}
+
+// SymbolOwners maps every symbol defined by the program's instances to
+// the path of its owning instance.
+func (p *Program) SymbolOwners() map[string]string {
+	out := map[string]string{}
+	for _, inst := range p.Instances {
+		for _, name := range InstanceSymbols(inst) {
+			out[name] = inst.Path
+		}
+	}
+	return out
+}

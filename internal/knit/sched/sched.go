@@ -31,6 +31,16 @@ type node struct {
 	bundle string
 }
 
+// Step describes one scheduled initializer or finalizer call with
+// enough identity for lifecycle error reports: which unit instance owns
+// it, which export bundle it belongs to, and its source-level name.
+type Step struct {
+	Global   string // program-unique (renamed) C-level name
+	Func     string // name as written in the unit file
+	Instance string // owning instance path, e.g. "LogServe/Log#1"
+	Bundle   string // export bundle the step initializes/finalizes
+}
+
 // Schedule is the computed order of initializer and finalizer calls.
 type Schedule struct {
 	// Inits holds the global (C-level) names of initializer functions in
@@ -38,6 +48,17 @@ type Schedule struct {
 	Inits []string
 	// Fins holds finalizer names in call order (reverse readiness).
 	Fins []string
+	// InitSteps and FinSteps carry per-call metadata, parallel to Inits
+	// and Fins respectively.
+	InitSteps []Step
+	FinSteps  []Step
+	// FinReady[i] is the number of leading entries of Inits that must
+	// have completed before FinSteps[i]'s bundle counts as initialized —
+	// the fine-grained fini dependency rank. A rollback after k
+	// successful initializers runs exactly the finalizers with
+	// FinReady[i] <= k, in FinSteps order: components whose
+	// initialization never completed are not finalized.
+	FinReady []int
 }
 
 // CycleError reports an initialization cycle the scheduler cannot break.
@@ -128,11 +149,18 @@ func Compute(prog *link.Program) (*Schedule, error) {
 	s := &Schedule{}
 	for _, ini := range order {
 		s.Inits = append(s.Inits, ini.GlobalName)
+		s.InitSteps = append(s.InitSteps, Step{
+			Global:   ini.GlobalName,
+			Func:     ini.Func,
+			Instance: initInst[ini].Path,
+			Bundle:   ini.Bundle,
+		})
 	}
 	// Finalizers: pair them with their bundle; run in reverse of the
 	// *initialization* readiness order. Finalizers of bundles whose
 	// initializers ran last run first.
 	finsOf := map[node][]*link.Init{}
+	finInst := map[*link.Init]*link.Instance{}
 	var finNodes []node
 	for _, inst := range instances {
 		for _, ini := range inst.Inits {
@@ -144,6 +172,7 @@ func Compute(prog *link.Program) (*Schedule, error) {
 				finNodes = append(finNodes, n)
 			}
 			finsOf[n] = append(finsOf[n], ini)
+			finInst[ini] = inst
 		}
 	}
 	// Rank each bundle node by the position of its last initializer in
@@ -159,9 +188,31 @@ func Compute(prog *link.Program) (*Schedule, error) {
 	for _, n := range finNodes {
 		for _, fin := range finsOf[n] {
 			s.Fins = append(s.Fins, fin.GlobalName)
+			s.FinSteps = append(s.FinSteps, Step{
+				Global:   fin.GlobalName,
+				Func:     fin.Func,
+				Instance: finInst[fin].Path,
+				Bundle:   fin.Bundle,
+			})
+			s.FinReady = append(s.FinReady, rank[n])
 		}
 	}
 	return s, nil
+}
+
+// FinsReadyAfter returns the indices into Fins/FinSteps of the
+// finalizers whose components are fully initialized once the first
+// completed initializers of the schedule have run — the exact set a
+// rollback after a failure at position completed must execute, already
+// in reverse-readiness call order.
+func (s *Schedule) FinsReadyAfter(completed int) []int {
+	var out []int
+	for i, r := range s.FinReady {
+		if r <= completed {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // topoSort orders initializers so every predecessor precedes its

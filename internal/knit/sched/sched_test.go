@@ -412,3 +412,91 @@ unit U%d = {
 		t.Error(err)
 	}
 }
+
+// TestStepMetadataAndFinReady: the schedule's Step records must carry
+// the owning instance and source-level names parallel to Inits/Fins,
+// and FinReady/FinsReadyAfter must give exactly the rollback set for a
+// failure at each schedule position.
+func TestStepMetadataAndFinReady(t *testing.T) {
+	units := `
+bundletype A = { fa }
+bundletype B = { fb }
+unit UA = {
+  exports [ a : A ];
+  initializer init_a for a;
+  finalizer fin_a for a;
+  files { "a.c" };
+}
+unit UB = {
+  imports [ a : A ];
+  exports [ b : B ];
+  initializer init_b for b;
+  finalizer fin_b for b;
+  depends { init_b needs a; fin_b needs a; };
+  files { "b.c" };
+}
+unit Top = {
+  exports [ b : B ];
+  link {
+    [a] <- UA <- [];
+    [b] <- UB <- [a];
+  };
+}
+`
+	sources := link.Sources{
+		"a.c": `void init_a(void) { } void fin_a(void) { } int fa(void) { return 1; }`,
+		"b.c": `int fa(void); void init_b(void) { } void fin_b(void) { } int fb(void) { return fa(); }`,
+	}
+	p := elabProgram(t, units, "Top", sources)
+	s, err := Compute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.InitSteps) != len(s.Inits) || len(s.FinSteps) != len(s.Fins) ||
+		len(s.FinReady) != len(s.Fins) {
+		t.Fatalf("step metadata not parallel: %d/%d inits, %d/%d/%d fins",
+			len(s.InitSteps), len(s.Inits), len(s.FinSteps), len(s.FinReady), len(s.Fins))
+	}
+	for i, step := range s.InitSteps {
+		if step.Global != s.Inits[i] {
+			t.Errorf("InitSteps[%d].Global = %q, want %q", i, step.Global, s.Inits[i])
+		}
+	}
+	for i, step := range s.FinSteps {
+		if step.Global != s.Fins[i] {
+			t.Errorf("FinSteps[%d].Global = %q, want %q", i, step.Global, s.Fins[i])
+		}
+	}
+	// init order is a then b; fins reverse: fin_b then fin_a.
+	if s.InitSteps[0].Func != "init_a" || s.InitSteps[0].Bundle != "a" ||
+		!strings.Contains(s.InitSteps[0].Instance, "UA") {
+		t.Errorf("InitSteps[0] = %+v, want init_a for bundle a of the UA instance", s.InitSteps[0])
+	}
+	if s.InitSteps[1].Func != "init_b" || !strings.Contains(s.InitSteps[1].Instance, "UB") {
+		t.Errorf("InitSteps[1] = %+v, want init_b of the UB instance", s.InitSteps[1])
+	}
+	if s.FinSteps[0].Func != "fin_b" || s.FinSteps[1].Func != "fin_a" {
+		t.Errorf("FinSteps = %+v, want fin_b then fin_a", s.FinSteps)
+	}
+	// fin_b becomes runnable only after both inits (rank 2); fin_a after
+	// the first (rank 1).
+	if s.FinReady[0] != 2 || s.FinReady[1] != 1 {
+		t.Errorf("FinReady = %v, want [2 1]", s.FinReady)
+	}
+	// Rollback sets: nothing ran -> nothing to finalize; init_a done ->
+	// fin_a only; both done -> both, fin_b first.
+	cases := [][]int{0: {}, 1: {1}, 2: {0, 1}}
+	for completed, want := range cases {
+		got := s.FinsReadyAfter(completed)
+		if len(got) != len(want) {
+			t.Errorf("FinsReadyAfter(%d) = %v, want %v", completed, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("FinsReadyAfter(%d) = %v, want %v", completed, got, want)
+				break
+			}
+		}
+	}
+}

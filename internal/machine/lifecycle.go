@@ -1,0 +1,44 @@
+package machine
+
+// Snapshot is a restorable copy of a machine's mutable program state:
+// memory, stack pointer, and the dynamic-module symbol tables. It
+// deliberately excludes the performance counters (Cycles, Executed,
+// ...) — a rollback undoes what the program did, not the record that it
+// ran — and the host-side builtins, which belong to the embedder.
+type Snapshot struct {
+	mem        []int64
+	sp         int64
+	stackLimit int64
+	dyn        *dynState
+}
+
+// Snapshot captures the machine's current program state. The snapshot
+// is independent of later execution and may be restored any number of
+// times; taking one costs a copy of the live memory image.
+func (m *M) Snapshot() *Snapshot {
+	s := &Snapshot{
+		mem:        append([]int64(nil), m.Mem...),
+		sp:         m.sp,
+		stackLimit: m.stackLimit,
+	}
+	if m.dyn != nil {
+		s.dyn = m.dyn.clone()
+	}
+	return s
+}
+
+// Restore rewinds the machine's program state to the snapshot: memory
+// contents (including any since-loaded dynamic modules' data), stack
+// pointer, and the dynamic symbol tables. Modules loaded after the
+// snapshot vanish; modules unloaded after it come back. Statistics and
+// registered builtins are left alone.
+func (m *M) Restore(s *Snapshot) {
+	m.Mem = append([]int64(nil), s.mem...)
+	m.sp = s.sp
+	m.stackLimit = s.stackLimit
+	if s.dyn != nil {
+		m.dyn = s.dyn.clone()
+	} else {
+		m.dyn = nil
+	}
+}

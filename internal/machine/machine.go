@@ -75,6 +75,11 @@ type Image struct {
 	TextSize   int64
 	DataWords  int
 	costs      Costs
+	// SymbolOwner, when set by the build layer, maps program-unique
+	// symbol names to the unit-instance path that defined them, so traps
+	// are attributed to components (fault isolation, not just fault
+	// detection). Nil is fine: attribution is best-effort.
+	SymbolOwner map[string]string
 }
 
 // LoadError reports a problem resolving an object file into an image.
@@ -196,14 +201,47 @@ func sortStrings(s []string) {
 // to model devices (console, NIC) and measurement hooks.
 type Builtin func(m *M, args []int64) (int64, error)
 
-// Trap is a runtime error in simulated code.
+// TrapKind classifies runtime errors so callers can react structurally
+// (retry, rollback, report) instead of parsing messages.
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapGeneric TrapKind = iota
+	// TrapBudgetExhausted: the machine's fuel/step budget ran out — a
+	// runaway component was stopped instead of hanging the host.
+	TrapBudgetExhausted
+	// TrapBadAddress: load or store outside mapped memory (including the
+	// NULL guard page).
+	TrapBadAddress
+	// TrapUnresolvedSymbol: address taken of (or indirect call to) a
+	// symbol with no definition.
+	TrapUnresolvedSymbol
+	// TrapBadStringIndex: a string-literal index outside the image table.
+	TrapBadStringIndex
+	// TrapStackOverflow: call depth or simulated stack exhausted.
+	TrapStackOverflow
+	// TrapUndefinedCall: direct call to a function that is neither
+	// defined nor a registered builtin.
+	TrapUndefinedCall
+)
+
+// Trap is a runtime error in simulated code. Unit, when known, names the
+// unit instance owning the faulting function (mapped back through the
+// link-time symbol owner table), so a crash is attributed to a component
+// rather than to an anonymous renamed symbol.
 type Trap struct {
+	Kind TrapKind
 	Msg  string
 	Func string
+	Unit string
 	PC   int
 }
 
 func (t *Trap) Error() string {
+	if t.Unit != "" {
+		return fmt.Sprintf("machine trap in %s (unit %s) at pc=%d: %s", t.Func, t.Unit, t.PC, t.Msg)
+	}
 	return fmt.Sprintf("machine trap in %s at pc=%d: %s", t.Func, t.PC, t.Msg)
 }
 
@@ -226,12 +264,25 @@ type M struct {
 
 	// StepLimit aborts runaway programs (0 means a large default).
 	StepLimit int64
+	// Fuel, when positive, bounds the instructions a single top-level Run
+	// may execute before trapping with TrapBudgetExhausted. Unlike
+	// StepLimit (a machine-lifetime cap), Fuel is re-armed at every Run,
+	// so one buggy component's infinite loop becomes a reported trap
+	// without starving later, well-behaved calls.
+	Fuel int64
+	// PreRun, when non-nil, is consulted at every top-level Run entry
+	// with the entry symbol; a non-nil error aborts the run before any
+	// simulated code executes. It exists for deterministic fault
+	// injection (see internal/knit/build/faultinject) and must not be
+	// relied on for program semantics.
+	PreRun func(entry string) error
 
 	sp         int64
 	stackLimit int64   // frames may not grow past this (dynamic data follows)
 	icache     []int64 // tag per line; -1 empty
 	prevLine   int64
 	depth      int
+	fuelEnd    int64     // absolute Executed bound for the current Run (0 = none)
 	dyn        *dynState // dynamically loaded modules (nil until used)
 }
 
@@ -268,14 +319,22 @@ func (m *M) Reset() {
 	m.prevLine = -100
 	m.dyn = nil // dynamic modules do not survive a reset
 	m.depth = 0
+	m.fuelEnd = 0
 }
 
 // RegisterBuiltin installs a host function under the given symbol name.
 func (m *M) RegisterBuiltin(name string, fn Builtin) { m.Builtins[name] = fn }
 
 // Run calls the named function with the given arguments and returns its
-// result.
+// result. At the top level (not from within simulated code) it re-arms
+// the fuel budget and, on a trap, attributes the fault to the owning
+// unit instance via the link-time symbol owner table.
 func (m *M) Run(entry string, args ...int64) (int64, error) {
+	if m.depth == 0 && m.PreRun != nil {
+		if err := m.PreRun(entry); err != nil {
+			return 0, err
+		}
+	}
 	fn, ok := m.Img.Entry[entry]
 	if !ok {
 		fn, ok = m.dynFunc(entry)
@@ -283,7 +342,33 @@ func (m *M) Run(entry string, args ...int64) (int64, error) {
 	if !ok {
 		return 0, &LoadError{Msg: fmt.Sprintf("entry function %q not defined", entry)}
 	}
-	return m.call(fn, args)
+	if m.depth == 0 {
+		if m.Fuel > 0 {
+			m.fuelEnd = m.Executed + m.Fuel
+		} else {
+			m.fuelEnd = 0
+		}
+	}
+	v, err := m.call(fn, args)
+	if t, ok := err.(*Trap); ok && t.Unit == "" {
+		t.Unit = m.OwnerOf(t.Func)
+	}
+	return v, err
+}
+
+// OwnerOf maps a (renamed, program-unique) function or data symbol back
+// to the unit instance that owns it, consulting the image's link-time
+// symbol table and then the live dynamic modules. Empty when unknown.
+func (m *M) OwnerOf(sym string) string {
+	if owner, ok := m.Img.SymbolOwner[sym]; ok {
+		return owner
+	}
+	if m.dyn != nil {
+		if owner, ok := m.dyn.owner[sym]; ok {
+			return owner
+		}
+	}
+	return ""
 }
 
 // fetch models the instruction fetch of one instruction at the given
@@ -310,7 +395,7 @@ func (m *M) fetch(textOff int64) {
 
 func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 	if m.depth >= MaxCallDepth {
-		return 0, &Trap{Msg: "call stack overflow", Func: fn.Name}
+		return 0, &Trap{Kind: TrapStackOverflow, Msg: "call stack overflow", Func: fn.Name}
 	}
 	if len(args) != fn.NArgs {
 		return 0, &Trap{Msg: fmt.Sprintf("called with %d args, want %d", len(args), fn.NArgs), Func: fn.Name}
@@ -322,7 +407,7 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 	copy(regs, args)
 	fp := m.sp
 	if fp+int64(fn.Frame) > m.stackLimit {
-		return 0, &Trap{Msg: "simulated stack overflow", Func: fn.Name}
+		return 0, &Trap{Kind: TrapStackOverflow, Msg: "simulated stack overflow", Func: fn.Name}
 	}
 	// Frame memory must start zeroed for deterministic behaviour.
 	for i := int64(0); i < int64(fn.Frame); i++ {
@@ -342,7 +427,12 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 			return 0, &Trap{Msg: "pc out of range", Func: fn.Name, PC: pc}
 		}
 		if m.Executed >= m.StepLimit {
-			return 0, &Trap{Msg: "step limit exceeded", Func: fn.Name, PC: pc}
+			return 0, &Trap{Kind: TrapBudgetExhausted, Msg: "step limit exceeded", Func: fn.Name, PC: pc}
+		}
+		if m.fuelEnd > 0 && m.Executed >= m.fuelEnd {
+			return 0, &Trap{Kind: TrapBudgetExhausted,
+				Msg:  fmt.Sprintf("fuel budget of %d instructions exhausted", m.Fuel),
+				Func: fn.Name, PC: pc}
 		}
 		in := &fn.Code[pc]
 		m.Executed++
@@ -380,7 +470,7 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 			if a, ok := m.resolveAddr(in.Sym); ok {
 				regs[in.Dst] = a
 			} else {
-				return 0, &Trap{Msg: "unresolved symbol " + in.Sym, Func: fn.Name, PC: pc}
+				return 0, &Trap{Kind: TrapUnresolvedSymbol, Msg: "unresolved symbol " + in.Sym, Func: fn.Name, PC: pc}
 			}
 		case obj.OpAddrLocal:
 			regs[in.Dst] = fp + in.Imm
@@ -390,7 +480,7 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 			// globals. Precomputed per-image table:
 			a, err := m.stringAddr(int(in.Imm))
 			if err != nil {
-				return 0, &Trap{Msg: err.Error(), Func: fn.Name, PC: pc}
+				return 0, &Trap{Kind: TrapBadStringIndex, Msg: err.Error(), Func: fn.Name, PC: pc}
 			}
 			regs[in.Dst] = a
 		case obj.OpCall:
@@ -406,7 +496,7 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 				callee, ok = m.dynFuncByAddr(target)
 			}
 			if !ok {
-				return 0, &Trap{Msg: fmt.Sprintf("indirect call to non-function address %#x", target), Func: fn.Name, PC: pc}
+				return 0, &Trap{Kind: TrapUnresolvedSymbol, Msg: fmt.Sprintf("indirect call to non-function address %#x", target), Func: fn.Name, PC: pc}
 			}
 			m.IndCalls++
 			m.Cycles += m.Costs.CallBase + m.Costs.Indirect +
@@ -464,19 +554,19 @@ func (m *M) dispatch(sym string, regs []int64, argRegs []obj.Reg, fn *obj.Func, 
 		m.Cycles += m.Costs.Builtin
 		return b(m, argv)
 	}
-	return 0, &Trap{Msg: "call to undefined function " + sym, Func: fn.Name, PC: pc}
+	return 0, &Trap{Kind: TrapUndefinedCall, Msg: "call to undefined function " + sym, Func: fn.Name, PC: pc}
 }
 
 func (m *M) load(addr int64, fn *obj.Func, pc int) (int64, error) {
 	if addr < nullGuard || addr >= int64(len(m.Mem)) {
-		return 0, &Trap{Msg: fmt.Sprintf("load from invalid address %d", addr), Func: fn.Name, PC: pc}
+		return 0, &Trap{Kind: TrapBadAddress, Msg: fmt.Sprintf("load from invalid address %d", addr), Func: fn.Name, PC: pc}
 	}
 	return m.Mem[addr], nil
 }
 
 func (m *M) store(addr, val int64, fn *obj.Func, pc int) error {
 	if addr < nullGuard || addr >= int64(len(m.Mem)) {
-		return &Trap{Msg: fmt.Sprintf("store to invalid address %d", addr), Func: fn.Name, PC: pc}
+		return &Trap{Kind: TrapBadAddress, Msg: fmt.Sprintf("store to invalid address %d", addr), Func: fn.Name, PC: pc}
 	}
 	m.Mem[addr] = val
 	return nil
