@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"knit/internal/clack"
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
+	"knit/internal/knit/supervise"
 )
 
 func main() {
@@ -25,8 +28,16 @@ func main() {
 		variant    = flag.String("variant", "modular", "modular | hand | flattened | both")
 		packets    = flag.Int("packets", 1000, "number of packets to route")
 		dumpUnits  = flag.Bool("dump-units", false, "print the generated Knit units and exit")
+		supFlag    = flag.Bool("supervise", false, "serve the router under the self-healing supervisor")
+		faultEvery = flag.Int("fault-every", 0, "with -supervise, kill a classifier element every N packets")
+		soak       = flag.Duration("soak", 0, "with -supervise, repeat serving runs for this long and check for goroutine leaks")
 	)
 	flag.Parse()
+
+	if *supFlag {
+		runSupervised(*packets, *faultEvery, *soak)
+		return
+	}
 
 	if *configPath != "" {
 		runCustom(*configPath, *packets, *dumpUnits)
@@ -50,6 +61,64 @@ func main() {
 		fail(err)
 	}
 	report(meas)
+}
+
+// runSupervised is the degraded-mode soak: the modular router serves
+// synthetic traffic under the supervisor while fault injection kills a
+// classifier element every N packets. Each serving run must sustain
+// >= 90% goodput and converge (every instance healthy or
+// degraded-to-fallback); a soak repeats runs for the given duration and
+// additionally checks that supervision leaks no goroutines.
+func runSupervised(packets, faultEvery int, soak time.Duration) {
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	baseline := runtime.NumGoroutine()
+	spec := clack.DefaultTraffic(packets)
+	pol := supervise.Default()
+	runs, totalFaults := 0, 0
+	deadline := time.Now().Add(soak)
+	for {
+		rep, err := clack.ServeSupervised(res, spec, pol, supervise.Wall(), faultEvery)
+		if err != nil {
+			fail(err)
+		}
+		runs++
+		totalFaults += rep.Faults
+		if rep.Goodput < 0.90 {
+			fail(fmt.Errorf("run %d: goodput %.4f below 0.90", runs, rep.Goodput))
+		}
+		if !rep.Converged {
+			fail(fmt.Errorf("run %d: router did not converge", runs))
+		}
+		for _, st := range rep.Statuses {
+			if st.State != supervise.Healthy && st.State != supervise.Degraded {
+				fail(fmt.Errorf("run %d: %s ended %s", runs, st.Path, st.State))
+			}
+		}
+		if runs == 1 {
+			fmt.Printf("clack supervised: %d packets, fault every %d, goodput %.4f, %d faults handled\n",
+				rep.Stats.Rx[0]+rep.Stats.Rx[1], faultEvery, rep.Goodput, rep.Faults)
+			for _, st := range rep.Statuses {
+				if st.Failures > 0 {
+					fmt.Printf("  %-40s %-20s restarts %d, swaps %d, via %s\n",
+						st.Path, st.State, st.Restarts, st.Swaps, st.ActiveModule)
+				}
+			}
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	runtime.GC()
+	if g := runtime.NumGoroutine(); g > baseline {
+		fail(fmt.Errorf("goroutine leak: %d before soak, %d after %d runs", baseline, g, runs))
+	}
+	if soak > 0 {
+		fmt.Printf("clack soak: %d runs in %v, %d faults handled, goroutines stable at %d\n",
+			runs, soak, totalFaults, runtime.NumGoroutine())
+	}
 }
 
 func runCustom(path string, packets int, dumpUnits bool) {

@@ -25,6 +25,7 @@ import (
 	"knit/internal/asm"
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
+	"knit/internal/knit/supervise"
 	"knit/internal/machine"
 )
 
@@ -40,6 +41,9 @@ func main() {
 		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
 		cacheDir = flag.String("cache", "", "directory for the content-hash compile cache (empty = no cache)")
 		jobs     = flag.Int("j", 0, "parallel compile jobs (0 = one per CPU)")
+		supFlag  = flag.Bool("supervise", false, "run -run under the self-healing supervisor (restart/fallback/escalate per policy)")
+		policy   = flag.String("policy", "", "supervision policy file (default: built-in policy)")
+		calls    = flag.Int("calls", 1, "with -supervise, number of supervised calls to drive")
 		schedule = flag.Bool("schedule", false, "print the initializer/finalizer schedule")
 		showTime = flag.Bool("time", false, "print the per-phase build-time breakdown")
 		dumpFlat = flag.Bool("dump-flat", false, "print the flattened merged source and exit")
@@ -133,18 +137,82 @@ func main() {
 		con := machine.InstallConsole(m)
 		ser := machine.InstallSerial(m)
 		machine.InstallStopWatch(m)
+		if *supFlag {
+			runSupervised(res, m, parts[0], parts[1], *arg, *policy, *fuel, *calls)
+			printStreams(con, ser)
+			return
+		}
 		v, err := res.Run(m, parts[0], parts[1], *arg)
 		if err != nil {
 			fail(err)
 		}
-		if out := con.String(); out != "" {
-			fmt.Printf("console | %s\n", strings.ReplaceAll(out, "\n", "\nconsole | "))
-		}
-		if out := ser.String(); out != "" {
-			fmt.Printf("serial  | %s\n", strings.ReplaceAll(out, "\n", "\nserial  | "))
-		}
+		printStreams(con, ser)
 		fmt.Printf("%s(%d) = %d   [%d cycles, %d instructions]\n",
 			*run, *arg, v, m.Cycles, m.Executed)
+	}
+}
+
+// runSupervised drives the requested export through the self-healing
+// supervisor: initializers run transactionally, each call gets the
+// watchdog fuel budget, and every fault is answered per policy —
+// backoff-and-restart, fallback interposition, scope escalation. The
+// final report enumerates each unit instance's supervision state.
+func runSupervised(res *build.Result, m *machine.M, bundle, sym string,
+	arg int64, policyPath string, fuel int64, calls int) {
+	pol := supervise.Default()
+	if policyPath != "" {
+		data, err := os.ReadFile(policyPath)
+		if err != nil {
+			fail(err)
+		}
+		pol, err = supervise.Parse(string(data))
+		if err != nil {
+			fail(err)
+		}
+	}
+	if pol.WatchdogFuel == 0 {
+		pol.WatchdogFuel = fuel
+	}
+	if err := res.RunInit(m); err != nil {
+		fail(err)
+	}
+	sup := supervise.New(res, m, pol, supervise.Wall())
+	faults := 0
+	var last int64
+	for i := 0; i < calls; i++ {
+		v, err := sup.Call(bundle, sym, arg)
+		if err != nil {
+			faults++
+			fmt.Printf("knit: call %d faulted: %v\n", i+1, err)
+			continue
+		}
+		last = v
+	}
+	fmt.Printf("knit: supervised %d calls of %s.%s, %d faulted; last value %d\n",
+		calls, bundle, sym, faults, last)
+	for _, ev := range sup.Events() {
+		fmt.Printf("  event %-10s %-30s %s\n", ev.Action, ev.Instance, ev.Detail)
+	}
+	fmt.Println("knit: supervision report:")
+	for _, st := range sup.Report() {
+		line := fmt.Sprintf("  %-40s %-20s failures %d, restarts %d, swaps %d",
+			st.Path, st.State, st.Failures, st.Restarts, st.Swaps)
+		if st.ActiveModule != "" {
+			line += ", serving via " + st.ActiveModule
+		}
+		fmt.Println(line)
+	}
+	if err := res.RunFini(m); err != nil {
+		fmt.Printf("knit: finalization: %v\n", err)
+	}
+}
+
+func printStreams(con, ser fmt.Stringer) {
+	if out := con.String(); out != "" {
+		fmt.Printf("console | %s\n", strings.ReplaceAll(out, "\n", "\nconsole | "))
+	}
+	if out := ser.String(); out != "" {
+		fmt.Printf("serial  | %s\n", strings.ReplaceAll(out, "\n", "\nserial  | "))
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"knit/internal/clack"
@@ -22,6 +23,7 @@ import (
 	"knit/internal/cmini"
 	"knit/internal/compile"
 	"knit/internal/knit/build"
+	"knit/internal/knit/supervise"
 	"knit/internal/ldlink"
 	"knit/internal/oskit"
 )
@@ -35,10 +37,11 @@ func main() {
 		buildtime = flag.Bool("buildtime", false, "build-time breakdown (§6)")
 		fig1c     = flag.Bool("fig1c", false, "interposition with ld vs Knit (Figure 1c)")
 		ablations = flag.Bool("ablations", false, "mechanism ablations for the Table 1 result")
+		recovery  = flag.Bool("recovery", false, "fault-to-restored-service latency, restart vs fallback swap")
 		packets   = flag.Int("packets", 2000, "router workload size")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *micro || *census || *buildtime || *fig1c || *ablations)
+	all := !(*table1 || *table2 || *micro || *census || *buildtime || *fig1c || *ablations || *recovery)
 
 	if all || *fig1c {
 		runFig1c()
@@ -61,6 +64,67 @@ func main() {
 	if all || *ablations {
 		runAblations(*packets)
 	}
+	if all || *recovery {
+		runRecovery()
+	}
+}
+
+// runRecovery measures the supervision layer's fault-to-restored-service
+// latency: the wall time from the moment the policy decides on a remedy
+// to the moment the router serves again, for the two remedies — restart
+// (reset the instance's data, re-run its initializers) and fallback swap
+// (compile, dynamically load, and interpose the declared fallback unit).
+// Backoff is zeroed so the numbers isolate mechanism cost from policy
+// delay.
+func runRecovery() {
+	fmt.Println("== Recovery latency: restart vs fallback swap ==")
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	pol := supervise.Default()
+	pol.BaseBackoff = 0
+	byMode := map[string][]time.Duration{}
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		rep, err := clack.ServeSupervised(res, clack.DefaultTraffic(1000), pol,
+			supervise.Wall(), 50)
+		if err != nil {
+			fail(err)
+		}
+		if rep.Goodput < 0.90 || !rep.Converged {
+			fail(fmt.Errorf("trial %d: goodput %.4f converged=%v", i, rep.Goodput, rep.Converged))
+		}
+		for _, r := range rep.Recoveries {
+			byMode[r.Mode] = append(byMode[r.Mode], r.Latency)
+		}
+	}
+	for _, mode := range []string{"restart", "swap"} {
+		lat := byMode[mode]
+		if len(lat) == 0 {
+			fail(fmt.Errorf("no %s recoveries measured", mode))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Printf("   %-8s n=%3d  p50 %10v  p99 %10v\n", mode, len(lat),
+			percentile(lat, 50), percentile(lat, 99))
+	}
+	fmt.Println()
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
 }
 
 // runAblations quantifies each mechanism behind the Table 1 flattening

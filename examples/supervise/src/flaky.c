@@ -1,0 +1,12 @@
+static int calls;
+
+void flaky_init(void) { calls = 0; }
+
+int flaky_get(int x) {
+    calls = calls + 1;
+    if (calls % 3 == 0) {
+        int *p = 0;
+        return *p;
+    }
+    return x + calls;
+}

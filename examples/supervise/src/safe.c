@@ -1,0 +1,1 @@
+int safe_get(int x) { return -1; }

@@ -74,6 +74,25 @@ int push(int p) {
 }
 `
 
+// srcClassifierSafe is Classifier's declared fallback: a conservative
+// dispatcher that only forwards the kinds it positively recognizes and
+// routes anything else to the discard path, so a degraded router keeps
+// serving (and accounting for) every packet. Its initializer exists so
+// fault-injection tests can fail a fallback swap mid-flight.
+const srcClassifierSafe = srcPktH + `
+int push_ip(int p);
+int push_arp(int p);
+int push_other(int p);
+static int engaged;
+void safe_init(void) { engaged = 1; }
+int safe_push(int p) {
+    struct pkt *k = p;
+    if (k->kind == 0) { return push_ip(p); }
+    if (k->kind == 2) { return push_arp(p); }
+    return push_other(p);
+}
+`
+
 // srcARPResponder turns an ARP request around: it rewrites the packet
 // into a reply addressed to the requester and pushes it toward the
 // egress queue.
@@ -296,23 +315,24 @@ func genOSWork() string {
 // ElementSources maps file names to element implementations.
 func ElementSources() link.Sources {
 	return link.Sources{
-		"oswork.c":        genOSWork(),
-		"fromdevice.c":    srcFromDevice,
-		"classifier.c":    srcClassifier,
-		"arpresponder.c":  srcARPResponder,
-		"checkipheader.c": srcCheckIPHeader,
-		"lookupiproute.c": srcLookupIPRoute,
-		"deciipttl.c":     srcDecIPTTL,
-		"fixipchecksum.c": srcFixIPChecksum,
-		"ethencap.c":      srcEthEncap,
-		"queue.c":         srcQueue,
-		"counter.c":       srcCounter,
-		"todevice.c":      srcToDevice,
-		"discard.c":       srcDiscard,
-		"pullqueue.c":     srcPullQueue,
-		"todevicepull.c":  srcToDevicePull,
-		"devno0.c":        "int dev_no(void) { return 0; }\n",
-		"devno1.c":        "int dev_no(void) { return 1; }\n",
+		"oswork.c":         genOSWork(),
+		"fromdevice.c":     srcFromDevice,
+		"classifier.c":     srcClassifier,
+		"classifiersafe.c": srcClassifierSafe,
+		"arpresponder.c":   srcARPResponder,
+		"checkipheader.c":  srcCheckIPHeader,
+		"lookupiproute.c":  srcLookupIPRoute,
+		"deciipttl.c":      srcDecIPTTL,
+		"fixipchecksum.c":  srcFixIPChecksum,
+		"ethencap.c":       srcEthEncap,
+		"queue.c":          srcQueue,
+		"counter.c":        srcCounter,
+		"todevice.c":       srcToDevice,
+		"discard.c":        srcDiscard,
+		"pullqueue.c":      srcPullQueue,
+		"todevicepull.c":   srcToDevicePull,
+		"devno0.c":         "int dev_no(void) { return 0; }\n",
+		"devno1.c":         "int dev_no(void) { return 1; }\n",
 	}
 }
 
@@ -353,11 +373,30 @@ unit Classifier = {
   imports [ ip : Push, arp : Push, other : Push ];
   exports [ in : Push ];
   depends { in needs (ip + arp + other); };
+  fallback ClassifierSafe;
   files { "classifier.c" };
   rename {
     ip.push to push_ip;
     arp.push to push_arp;
     other.push to push_other;
+  };
+}
+
+// ClassifierSafe is the supervision layer's degraded-mode stand-in for
+// Classifier: identical ports, conservative dispatch. A supervisor that
+// exhausts Classifier's restart budget loads it dynamically and
+// interposes it over the failing instance's exports.
+unit ClassifierSafe = {
+  imports [ ip : Push, arp : Push, other : Push ];
+  exports [ in : Push ];
+  initializer safe_init for in;
+  depends { in needs (ip + arp + other); };
+  files { "classifiersafe.c" };
+  rename {
+    ip.push to push_ip;
+    arp.push to push_arp;
+    other.push to push_other;
+    in.push to safe_push;
   };
 }
 

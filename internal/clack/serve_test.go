@@ -1,0 +1,146 @@
+package clack
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/build/faultinject"
+	"knit/internal/knit/supervise"
+)
+
+// TestSupervisedRouterKeepsGoodput is the issue's acceptance scenario:
+// an element is killed every 50 packets, and the supervised router must
+// sustain ≥90% goodput, converging to a state where every instance is
+// healthy or degraded-to-fallback — never dead.
+func TestSupervisedRouterKeepsGoodput(t *testing.T) {
+	res, err := BuildRouter(Variant{})
+	if err != nil {
+		t.Fatalf("BuildRouter: %v", err)
+	}
+	rep, err := ServeSupervised(res, DefaultTraffic(2000), supervise.Default(),
+		supervise.NewFakeClock(), 50)
+	if err != nil {
+		t.Fatalf("ServeSupervised: %v", err)
+	}
+
+	if rep.Goodput < 0.90 {
+		t.Errorf("goodput = %.4f, want >= 0.90", rep.Goodput)
+	}
+	if !rep.Converged {
+		t.Error("router did not converge to a fully serving state")
+	}
+	for _, st := range rep.Statuses {
+		if st.State != supervise.Healthy && st.State != supervise.Degraded {
+			t.Errorf("%s ended %v, want healthy or degraded-to-fallback", st.Path, st.State)
+		}
+	}
+
+	// Default policy: two restarts, then the fallback swap; afterwards
+	// the injection no longer reaches the (interposed-away) original.
+	victim := FirstInstanceOf(res, "Classifier")
+	var vst supervise.InstanceStatus
+	for _, st := range rep.Statuses {
+		if st.Path == victim.Path {
+			vst = st
+		}
+	}
+	if vst.State != supervise.Degraded || vst.Restarts != 2 || vst.Swaps != 1 {
+		t.Errorf("victim status = %+v, want degraded after 2 restarts and 1 swap", vst)
+	}
+	if rep.Faults != 3 {
+		t.Errorf("faulted calls = %d, want 3", rep.Faults)
+	}
+
+	// Every received packet is accounted for except the ones in flight
+	// when a fault struck.
+	rx := rep.Stats.Rx[0] + rep.Stats.Rx[1]
+	accounted := rep.Stats.Tx[0] + rep.Stats.Tx[1] + rep.Stats.Dropped
+	if rx-accounted != rep.Faults {
+		t.Errorf("lost %d packets with %d faults; every fault should cost exactly one",
+			rx-accounted, rep.Faults)
+	}
+	if len(rep.Stats.TxBad) > 0 {
+		t.Errorf("malformed transmissions under supervision: %v", rep.Stats.TxBad)
+	}
+}
+
+// TestSupervisedRouterNoFaults: with no injection the supervised loop is
+// just a slow-path RunRouter — same forwarding totals, no recoveries.
+func TestSupervisedRouterNoFaults(t *testing.T) {
+	res, err := BuildRouter(Variant{})
+	if err != nil {
+		t.Fatalf("BuildRouter: %v", err)
+	}
+	rep, err := ServeSupervised(res, DefaultTraffic(400), nil, supervise.NewFakeClock(), 0)
+	if err != nil {
+		t.Fatalf("ServeSupervised: %v", err)
+	}
+	if rep.Goodput != 1.0 {
+		t.Errorf("goodput = %.4f, want 1.0 with no faults", rep.Goodput)
+	}
+	if rep.Faults != 0 || len(rep.Recoveries) != 0 {
+		t.Errorf("faults = %d, recoveries = %v, want none", rep.Faults, rep.Recoveries)
+	}
+
+	meas, err := RunRouter(res, DefaultTraffic(400))
+	if err != nil {
+		t.Fatalf("RunRouter: %v", err)
+	}
+	if got := rep.Stats.Tx[0] + rep.Stats.Tx[1]; got != meas.Forwarded {
+		t.Errorf("supervised run forwarded %d, unsupervised %d", got, meas.Forwarded)
+	}
+}
+
+// TestRouterFallbackSwapFaultLeavesZeroResidue: a fault during the
+// fallback swap itself (ClassifierSafe's initializer dies) must roll
+// back to the exact pre-swap machine — no module, no redirect, no data
+// change — and a retry after the fault clears must succeed.
+func TestRouterFallbackSwapFaultLeavesZeroResidue(t *testing.T) {
+	res, err := BuildRouter(Variant{})
+	if err != nil {
+		t.Fatalf("BuildRouter: %v", err)
+	}
+	m := res.NewMachine()
+	InstallDevices(m, DefaultTraffic(16).Generate())
+	if err := res.RunInit(m); err != nil {
+		t.Fatal(err)
+	}
+	victim := FirstInstanceOf(res, "Classifier")
+	before := m.Snapshot()
+
+	in := faultinject.Attach(m)
+	defer in.Detach()
+	errBoom := errors.New("boom")
+	in.FailEntryMatching("safe_init", errBoom)
+	_, err = res.SwapFallback(m, victim)
+	var lerr *build.LifecycleError
+	if !errors.As(err, &lerr) || lerr.Op != "swap" || !lerr.RolledBack {
+		t.Fatalf("err = %v, want rolled-back swap LifecycleError", err)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("injected cause lost from %v", err)
+	}
+	if mods := m.DynModules(); len(mods) != 0 {
+		t.Errorf("failed swap left modules: %v", mods)
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Errorf("invariants after failed swap: %v", err)
+	}
+	if after := m.Snapshot(); !reflect.DeepEqual(before, after) {
+		t.Error("failed swap changed machine state")
+	}
+
+	in.Clear()
+	lu, err := res.SwapFallback(m, victim)
+	if err != nil {
+		t.Fatalf("retry swap: %v", err)
+	}
+	if mods := m.DynModules(); len(mods) != 1 || mods[0] != lu.Name() {
+		t.Errorf("modules after retry = %v, want only %s", mods, lu.Name())
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -103,7 +103,7 @@ func Build(opts Options) (*Result, error) {
 	if len(opts.UnitFiles) == 0 {
 		return nil, fmt.Errorf("knit: build needs at least one unit file")
 	}
-	res := &Result{copts: opts.compileOptions()}
+	res := &Result{copts: opts.compileOptions(), sources: opts.Sources}
 
 	// Parse the unit-definition files.
 	start := time.Now()

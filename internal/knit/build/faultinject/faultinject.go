@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"knit/internal/machine"
@@ -27,22 +28,38 @@ type Injector struct {
 	m  *machine.M
 	mu sync.Mutex
 
-	runs      int
-	failAtRun map[int]error
-	failEntry map[string]error
-	saved     map[string]machine.Builtin // builtins replaced by failing wrappers
+	runs       int
+	failAtRun  map[int]error
+	failEntry  map[string]error
+	entryMatch []matchRule
+	trapCall   map[string]*callRule
+	saved      map[string]machine.Builtin // builtins replaced by failing wrappers
 }
 
-// Attach hooks an Injector into m's PreRun slot and returns it. With no
-// faults armed the hook only counts top-level runs.
+// matchRule fails top-level runs whose entry name contains a substring.
+type matchRule struct {
+	substr string
+	err    error
+}
+
+// callRule traps every nth entry to one simulated function.
+type callRule struct {
+	every int
+	calls int
+}
+
+// Attach hooks an Injector into m's PreRun and PreCall slots and
+// returns it. With no faults armed the hooks only count events.
 func Attach(m *machine.M) *Injector {
 	in := &Injector{
 		m:         m,
 		failAtRun: map[int]error{},
 		failEntry: map[string]error{},
+		trapCall:  map[string]*callRule{},
 		saved:     map[string]machine.Builtin{},
 	}
 	m.PreRun = in.preRun
+	m.PreCall = in.preCall
 	return in
 }
 
@@ -57,7 +74,32 @@ func (in *Injector) preRun(entry string) error {
 	if err, ok := in.failEntry[entry]; ok {
 		return fmt.Errorf("faultinject: entry %s: %w", entry, err)
 	}
+	for _, r := range in.entryMatch {
+		if strings.Contains(entry, r.substr) {
+			return fmt.Errorf("faultinject: entry %s: %w", entry, r.err)
+		}
+	}
 	return nil
+}
+
+func (in *Injector) preCall(fn string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r, ok := in.trapCall[fn]
+	if !ok {
+		return nil
+	}
+	r.calls++
+	if r.every <= 0 || r.calls%r.every != 0 {
+		return nil
+	}
+	// A fresh *Trap per firing: the machine fills Unit from its symbol
+	// owner table, so the fault is attributed like a real crash.
+	return &machine.Trap{
+		Kind: machine.TrapInjected,
+		Msg:  fmt.Sprintf("faultinject: call #%d to %s", r.calls, fn),
+		Func: fn,
+	}
 }
 
 // FailNthRun arms a failure for the nth (0-based, counted from Attach
@@ -76,6 +118,29 @@ func (in *Injector) FailEntry(global string, err error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.failEntry[global] = err
+}
+
+// FailEntryMatching arms a failure for every top-level run whose entry
+// name contains substr. Dynamic instances get fresh program-unique
+// renamed symbols on every load, so a test that wants to kill, say, a
+// fallback unit's initializer on whatever instance comes next cannot
+// know the exact global name in advance — but it does know the stable
+// source-level fragment inside it.
+func (in *Injector) FailEntryMatching(substr string, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.entryMatch = append(in.entryMatch, matchRule{substr: substr, err: err})
+}
+
+// TrapCallEvery arms an injected trap on every nth entry (counting from
+// 1) to the named simulated function — top-level or nested, so an
+// element deep inside a router pipeline can be made to crash on a
+// schedule. The trap carries Kind TrapInjected and is attributed to the
+// function's owning unit instance exactly like a real fault.
+func (in *Injector) TrapCallEvery(global string, every int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.trapCall[global] = &callRule{every: every}
 }
 
 // FailBuiltinAfter replaces the named registered builtin with a wrapper
@@ -122,6 +187,8 @@ func (in *Injector) Clear() {
 	in.runs = 0
 	in.failAtRun = map[int]error{}
 	in.failEntry = map[string]error{}
+	in.entryMatch = nil
+	in.trapCall = map[string]*callRule{}
 	in.saved = map[string]machine.Builtin{}
 	in.mu.Unlock()
 	for name, b := range saved {
@@ -129,10 +196,11 @@ func (in *Injector) Clear() {
 	}
 }
 
-// Detach clears all faults and removes the PreRun hook.
+// Detach clears all faults and removes the PreRun and PreCall hooks.
 func (in *Injector) Detach() {
 	in.Clear()
 	in.m.PreRun = nil
+	in.m.PreCall = nil
 }
 
 // CacheEntries lists a disk compile cache's entry files in sorted

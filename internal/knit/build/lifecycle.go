@@ -58,8 +58,17 @@ func (e *LifecycleError) Error() string {
 	return b.String()
 }
 
-// Unwrap exposes the underlying failure for errors.Is/As chains.
-func (e *LifecycleError) Unwrap() error { return e.Err }
+// Unwrap exposes the underlying failure and every rollback failure for
+// errors.Is/As traversal (multi-error unwrap, as errors.Join produces):
+// a caller can match an individual finalizer's *LifecycleError or the
+// *machine.Trap inside it without string-matching the message.
+func (e *LifecycleError) Unwrap() []error {
+	var errs []error
+	if e.Err != nil {
+		errs = append(errs, e.Err)
+	}
+	return append(errs, e.RollbackErrs...)
+}
 
 func stepNoun(op string) string {
 	switch op {

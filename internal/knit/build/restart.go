@@ -1,0 +1,123 @@
+package build
+
+import (
+	"fmt"
+
+	"knit/internal/knit/link"
+	"knit/internal/knit/sched"
+	"knit/internal/machine"
+)
+
+// This file is the build-layer half of component restart: give a unit
+// instance (or a whole scope of instances) a fresh start on a live
+// machine without rebuilding or rebooting anything else. The
+// supervision layer (internal/knit/supervise) drives these from its
+// restart policy.
+
+// InstanceByPath finds the unit instance with the given path, searching
+// the static program and the dynamic modules live on m. Returns nil
+// when no such instance exists.
+func (r *Result) InstanceByPath(m *machine.M, path string) *link.Instance {
+	for _, inst := range r.Program.Instances {
+		if inst.Path == path {
+			return inst
+		}
+	}
+	for _, inst := range r.stateOf(m).loaded {
+		if inst.Path == path {
+			return inst
+		}
+	}
+	return nil
+}
+
+// RestartInstance discards one unit instance's state and
+// re-initializes it: the instance's static globals are reset to their
+// load-time (initializer-expression) contents, then its initializers
+// re-run in schedule order. Dynamic instances retain no initial data
+// image, so their restart is the initializer re-run alone.
+//
+// Finalizers deliberately do not run first — a restart responds to a
+// fault, and a faulted component's finalizers cannot be trusted with
+// its corrupted state; the state is discarded wholesale instead.
+//
+// The restart is transactional: a failing initializer restores the
+// machine to its pre-restart state and the error reports Op "restart".
+func (r *Result) RestartInstance(m *machine.M, inst *link.Instance) error {
+	snap := m.Snapshot()
+	m.ResetData(link.InstanceSymbols(inst))
+	for _, ini := range inst.Inits {
+		if ini.Finalizer {
+			continue
+		}
+		if _, err := m.Run(ini.GlobalName); err != nil {
+			m.Restore(snap)
+			return &LifecycleError{
+				Op:         "restart",
+				Unit:       inst.Path,
+				Func:       ini.Func,
+				Global:     ini.GlobalName,
+				Err:        err,
+				RolledBack: true,
+			}
+		}
+	}
+	return nil
+}
+
+// RestartScope restarts every unit instance inside scope (see
+// sched.ScopeContains): static instances' globals are reset, then the
+// scope's initializers re-run in their original schedule order, then
+// any dynamic instances in scope re-run theirs in load order. The
+// empty scope restarts the whole program. Like RestartInstance it is
+// transactional and skips finalizers.
+func (r *Result) RestartScope(m *machine.M, scope string) error {
+	var inScope []*link.Instance
+	for _, inst := range r.Program.Instances {
+		if sched.ScopeContains(scope, inst.Path) {
+			inScope = append(inScope, inst)
+		}
+	}
+	var dynInScope []*link.Instance
+	for _, inst := range r.stateOf(m).loaded {
+		if sched.ScopeContains(scope, inst.Path) {
+			dynInScope = append(dynInScope, inst)
+		}
+	}
+	if len(inScope) == 0 && len(dynInScope) == 0 {
+		return fmt.Errorf("knit: restart: no instances in scope %q", scope)
+	}
+	snap := m.Snapshot()
+	for _, inst := range inScope {
+		m.ResetData(link.InstanceSymbols(inst))
+	}
+	fail := func(step sched.Step, err error) error {
+		m.Restore(snap)
+		return &LifecycleError{
+			Op:         "restart",
+			Unit:       step.Instance,
+			Func:       step.Func,
+			Global:     step.Global,
+			Err:        err,
+			RolledBack: true,
+		}
+	}
+	for _, i := range r.Schedule.InitsForScope(scope) {
+		if _, err := m.Run(r.Schedule.Inits[i]); err != nil {
+			return fail(r.Schedule.InitSteps[i], err)
+		}
+	}
+	for _, inst := range dynInScope {
+		for _, ini := range inst.Inits {
+			if ini.Finalizer {
+				continue
+			}
+			if _, err := m.Run(ini.GlobalName); err != nil {
+				return fail(sched.Step{
+					Global: ini.GlobalName, Func: ini.Func, Instance: inst.Path, Bundle: ini.Bundle,
+				}, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package build
 
 import (
+	"errors"
 	"sync"
 
 	"knit/internal/compile"
@@ -28,6 +29,10 @@ type Result struct {
 	Timings Timings
 
 	copts compile.Options
+	// sources is the build's virtual filesystem, retained so runtime
+	// fallback swaps can compile units that were not instantiated
+	// statically.
+	sources link.Sources
 
 	mu   sync.Mutex
 	mach map[*machine.M]*machState
@@ -121,33 +126,28 @@ func (r *Result) RunInit(m *machine.M) error {
 // RunFini runs the program's finalizers on m in schedule order (reverse
 // initialization readiness). Like RunInit it runs at most once per
 // machine. A failing finalizer does not stop the ones after it — every
-// component gets its shutdown chance — and the failures are collected
-// into one *LifecycleError (the first failure leads; the rest ride in
-// RollbackErrs).
+// component gets its shutdown chance — and the failures are joined with
+// errors.Join, so errors.Is/errors.As reach each individual finalizer's
+// *LifecycleError (and the *machine.Trap inside it) instead of callers
+// string-matching a concatenated message.
 func (r *Result) RunFini(m *machine.M) error {
 	st := r.stateOf(m)
 	if st.finiDone {
 		return nil
 	}
-	var lerr *LifecycleError
+	var errs []error
 	for i, name := range r.Schedule.Fins {
 		_, err := m.Run(name)
 		if err == nil {
 			continue
 		}
 		step := r.Schedule.FinSteps[i]
-		fe := &LifecycleError{Op: "fini", Unit: step.Instance, Func: step.Func, Global: step.Global, Err: err}
-		if lerr == nil {
-			lerr = fe
-		} else {
-			lerr.RollbackErrs = append(lerr.RollbackErrs, fe)
-		}
+		errs = append(errs, &LifecycleError{
+			Op: "fini", Unit: step.Instance, Func: step.Func, Global: step.Global, Err: err,
+		})
 	}
 	st.finiDone = true
-	if lerr != nil {
-		return lerr
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Run executes one exported function with full lifecycle: initializers

@@ -65,6 +65,11 @@ type Unit struct {
 	Inits       []InitDecl
 	Constraints []Constraint
 	Links       []LinkLine
+
+	// Fallback names a unit the supervisor may substitute for this one
+	// at runtime ("fallback SafeUnit;"). The fallback must export the
+	// same bundles and import a subset of this unit's imports.
+	Fallback string
 }
 
 // IsCompound reports whether the unit is built by linking sub-units.

@@ -107,6 +107,9 @@ func genFile(r *rand.Rand) *File {
 		if r.Intn(3) == 0 {
 			u.Inits = append(u.Inits, InitDecl{Func: ident("fini", i), Bundle: exp, Finalizer: true})
 		}
+		if r.Intn(3) == 0 {
+			u.Fallback = ident("Safe", i)
+		}
 		switch r.Intn(3) {
 		case 0:
 			u.Constraints = append(u.Constraints, Constraint{

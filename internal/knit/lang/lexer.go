@@ -54,6 +54,7 @@ const (
 	KwLink
 	KwProperty
 	KwType
+	KwFallback
 )
 
 var tokNames = map[Tok]string{
@@ -66,7 +67,7 @@ var tokNames = map[Tok]string{
 	KwNeeds: "needs", KwFiles: "files", KwWith: "with", KwRename: "rename",
 	KwTo: "to", KwInitializer: "initializer", KwFinalizer: "finalizer",
 	KwFor: "for", KwConstraints: "constraints", KwLink: "link",
-	KwProperty: "property", KwType: "type",
+	KwProperty: "property", KwType: "type", KwFallback: "fallback",
 }
 
 func (t Tok) String() string {
@@ -82,7 +83,7 @@ var keywords = map[string]Tok{
 	"needs": KwNeeds, "files": KwFiles, "with": KwWith, "rename": KwRename,
 	"to": KwTo, "initializer": KwInitializer, "finalizer": KwFinalizer,
 	"for": KwFor, "constraints": KwConstraints, "link": KwLink,
-	"property": KwProperty, "type": KwType,
+	"property": KwProperty, "type": KwType, "fallback": KwFallback,
 }
 
 // Pos is a source position.

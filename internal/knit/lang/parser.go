@@ -331,6 +331,22 @@ func (p *parser) unitSection(u *Unit) error {
 			return err
 		}
 		u.Inits = append(u.Inits, InitDecl{Pos: fn.Pos, Func: fn.Lit, Bundle: b.Lit, Finalizer: fin})
+	case KwFallback:
+		p.next()
+		fb, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if u.Fallback != "" {
+			return p.errf("unit %s declares more than one fallback", u.Name)
+		}
+		if fb.Lit == u.Name {
+			return p.errf("unit %s names itself as fallback", u.Name)
+		}
+		u.Fallback = fb.Lit
+		if _, err := p.expect(SEMI); err != nil {
+			return err
+		}
 	case KwConstraints:
 		p.next()
 		if _, err := p.expect(LBRACE); err != nil {

@@ -196,6 +196,36 @@ unit U = {
 	}
 }
 
+func TestParseFallbackClause(t *testing.T) {
+	src := `
+unit Classifier = {
+  imports [ out : Push ];
+  exports [ in : Push ];
+  fallback ClassifierSafe;
+  files { "cl.c" };
+}
+`
+	f, err := Parse("u.unit", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Units[0].Fallback; got != "ClassifierSafe" {
+		t.Errorf("Fallback = %q, want ClassifierSafe", got)
+	}
+	// And the printed form must carry it through a round trip.
+	printed := Print(f)
+	if !strings.Contains(printed, "fallback ClassifierSafe;") {
+		t.Errorf("printed form lacks fallback clause:\n%s", printed)
+	}
+	f2, err := Parse("u.unit", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if f2.Units[0].Fallback != "ClassifierSafe" {
+		t.Error("fallback lost in round trip")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct{ name, src, want string }{
 		{"type before property", "type X", "before any 'property'"},
@@ -207,6 +237,8 @@ func TestParseErrors(t *testing.T) {
 		{"unterminated string", `flags F = { "abc`, "unterminated string"},
 		{"bad char", `unit U @ {}`, "unexpected character"},
 		{"missing needs", `unit U = { depends { a b; }; }`, "needs"},
+		{"dup fallback", `unit U = { fallback A; fallback B; }`, "more than one fallback"},
+		{"self fallback", `unit U = { fallback U; }`, "names itself"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

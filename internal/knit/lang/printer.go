@@ -56,6 +56,9 @@ func printUnit(b *strings.Builder, u *Unit) {
 		}
 		fmt.Fprintf(b, "  %s %s for %s;\n", kw, ini.Func, ini.Bundle)
 	}
+	if u.Fallback != "" {
+		fmt.Fprintf(b, "  fallback %s;\n", u.Fallback)
+	}
 	if len(u.Depends) > 0 {
 		b.WriteString("  depends {\n")
 		for _, d := range u.Depends {

@@ -20,9 +20,6 @@ func ElaborateDynamic(reg *Registry, base *Program, unitName string,
 	if !ok {
 		return nil, &Err{Msg: "unknown unit " + unitName}
 	}
-	if u.IsCompound() {
-		return nil, errAt(u.Pos, "dynamic unit %s must be atomic (link compound units statically)", unitName)
-	}
 	env := map[string]*Wire{}
 	for _, imp := range u.Imports {
 		target, ok := wiring[imp.Local]
@@ -33,11 +30,6 @@ func ElaborateDynamic(reg *Registry, base *Program, unitName string,
 		if !ok {
 			return nil, errAt(imp.Pos,
 				"dynamic unit %s: base program has no top-level export %q", unitName, target)
-		}
-		if w.Type != imp.Type {
-			return nil, errAt(imp.Pos,
-				"dynamic unit %s: import %q has bundle type %s, export %q has %s",
-				unitName, imp.Local, imp.Type, target, w.Type)
 		}
 		env[imp.Local] = w
 	}
@@ -50,6 +42,34 @@ func ElaborateDynamic(reg *Registry, base *Program, unitName string,
 		}
 		if !known {
 			return nil, errAt(u.Pos, "dynamic unit %s has no import %q", unitName, local)
+		}
+	}
+	return ElaborateDynamicEnv(reg, base, unitName, sources, env)
+}
+
+// ElaborateDynamicEnv is ElaborateDynamic with the import environment
+// given directly as wires instead of top-level export names. This is
+// what runtime interposition needs: a fallback unit is wired to the
+// *same* providers as the instance it replaces (its ImportWires), which
+// are internal wires that generally are not top-level exports.
+func ElaborateDynamicEnv(reg *Registry, base *Program, unitName string,
+	sources Sources, env map[string]*Wire) (*Instance, error) {
+	u, ok := reg.Units[unitName]
+	if !ok {
+		return nil, &Err{Msg: "unknown unit " + unitName}
+	}
+	if u.IsCompound() {
+		return nil, errAt(u.Pos, "dynamic unit %s must be atomic (link compound units statically)", unitName)
+	}
+	for _, imp := range u.Imports {
+		w, ok := env[imp.Local]
+		if !ok || w == nil {
+			return nil, errAt(imp.Pos, "dynamic unit %s: import %q not wired", unitName, imp.Local)
+		}
+		if w.Type != imp.Type {
+			return nil, errAt(imp.Pos,
+				"dynamic unit %s: import %q has bundle type %s, wired bundle has %s",
+				unitName, imp.Local, imp.Type, w.Type)
 		}
 	}
 	nextID := 0

@@ -215,6 +215,35 @@ func (s *Schedule) FinsReadyAfter(completed int) []int {
 	return out
 }
 
+// InitsForScope returns the indices into Inits/InitSteps of the
+// initializers owned by unit instances inside scope, in schedule order.
+// The supervision layer uses this to restart a subtree of the program:
+// reset its components' data, then re-run exactly these initializers.
+func (s *Schedule) InitsForScope(scope string) []int {
+	var out []int
+	for i, st := range s.InitSteps {
+		if ScopeContains(scope, st.Instance) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ScopeContains reports whether an instance path lies within a scope.
+// The empty scope contains every instance; otherwise the path must be
+// the scope itself or nested under it — "ClackRouter" contains
+// "ClackRouter/cl0#5", and "ClackRouter/cl0" contains "ClackRouter/cl0#5",
+// but "ClackRouter/cl" does not.
+func ScopeContains(scope, path string) bool {
+	if scope == "" {
+		return true
+	}
+	if path == scope {
+		return true
+	}
+	return strings.HasPrefix(path, scope+"/") || strings.HasPrefix(path, scope+"#")
+}
+
 // topoSort orders initializers so every predecessor precedes its
 // dependents, preserving declaration order among unconstrained
 // initializers. A cycle yields a CycleError with the cycle path.

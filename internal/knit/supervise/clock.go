@@ -1,0 +1,40 @@
+package supervise
+
+import "time"
+
+// Clock abstracts time for the supervisor, so backoff schedules are
+// driven by an injected fake in tests (no wall-clock sleeps, fully
+// deterministic timestamps) and by the real clock in production.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// Wall returns the real-time clock.
+func Wall() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually advanced clock. Sleep advances it instantly
+// and records the requested duration, so a test can assert the exact
+// backoff schedule the supervisor produced.
+type FakeClock struct {
+	T     time.Time
+	Slept []time.Duration
+}
+
+// NewFakeClock starts a fake clock at the Unix epoch.
+func NewFakeClock() *FakeClock { return &FakeClock{T: time.Unix(0, 0).UTC()} }
+
+func (f *FakeClock) Now() time.Time { return f.T }
+
+func (f *FakeClock) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.T = f.T.Add(d)
+	f.Slept = append(f.Slept, d)
+}

@@ -1,0 +1,218 @@
+package supervise
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Policy is the declarative restart policy a supervisor applies to
+// every unit instance, with optional per-unit overrides.
+type Policy struct {
+	// MaxRestarts is the failure budget: how many attributed failures
+	// within Window are answered with a backoff-and-restart before the
+	// supervisor escalates (fallback swap, then scope restart).
+	MaxRestarts int
+	// Window bounds the failure budget in time: only failures within
+	// the trailing window count against the budget. Zero means the
+	// budget spans the instance's lifetime.
+	Window time.Duration
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// before the k-th restart: min(BaseBackoff·2^(k−1), MaxBackoff),
+	// plus jitter. Zero BaseBackoff disables backoff sleeps.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the deterministic jitter source. The same seed
+	// and fault sequence produce the same backoff schedule.
+	JitterSeed int64
+	// WatchdogFuel bounds each supervised call's executed instructions
+	// (machine.M.Fuel): a wedged component becomes an attributed
+	// budget-exhausted trap instead of a hang. Zero disables it.
+	WatchdogFuel int64
+	// Units holds per-unit overrides, keyed by unit name.
+	Units map[string]UnitOverride
+}
+
+// UnitOverride overrides chosen policy fields for one unit. Nil fields
+// inherit the global policy.
+type UnitOverride struct {
+	MaxRestarts *int
+	BaseBackoff *time.Duration
+	MaxBackoff  *time.Duration
+}
+
+// Default returns the stock policy: two restarts, lifetime window,
+// 10ms–1s exponential backoff, jitter seed 1, no watchdog.
+func Default() *Policy {
+	return &Policy{
+		MaxRestarts: 2,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		JitterSeed:  1,
+	}
+}
+
+func (p *Policy) restartsFor(unit string) int {
+	if o, ok := p.Units[unit]; ok && o.MaxRestarts != nil {
+		return *o.MaxRestarts
+	}
+	return p.MaxRestarts
+}
+
+func (p *Policy) backoffFor(unit string) (base, max time.Duration) {
+	base, max = p.BaseBackoff, p.MaxBackoff
+	if o, ok := p.Units[unit]; ok {
+		if o.BaseBackoff != nil {
+			base = *o.BaseBackoff
+		}
+		if o.MaxBackoff != nil {
+			max = *o.MaxBackoff
+		}
+	}
+	return base, max
+}
+
+// Parse reads the line-based policy file format:
+//
+//	# global settings
+//	max_restarts = 2
+//	window = 30s
+//	base_backoff = 10ms
+//	max_backoff = 1s
+//	jitter_seed = 42
+//	watchdog_fuel = 1000000
+//
+//	[unit Classifier]
+//	max_restarts = 1
+//	base_backoff = 5ms
+//
+// Unknown keys are errors; '#' starts a comment; blank lines are
+// ignored. A "[unit NAME]" header scopes the keys after it to that
+// unit (only max_restarts, base_backoff, and max_backoff may be
+// overridden per unit).
+func Parse(text string) (*Policy, error) {
+	p := Default()
+	var unit string // "" = global section
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("policy line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fail("unterminated section header %q", line)
+			}
+			fields := strings.Fields(strings.Trim(line, "[]"))
+			if len(fields) != 2 || fields[0] != "unit" {
+				return nil, fail("section header must be [unit NAME], got %q", line)
+			}
+			unit = fields[1]
+			if p.Units == nil {
+				p.Units = map[string]UnitOverride{}
+			}
+			if _, dup := p.Units[unit]; dup {
+				return nil, fail("duplicate section for unit %s", unit)
+			}
+			p.Units[unit] = UnitOverride{}
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fail("expected key = value, got %q", line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if unit == "" {
+			if err := p.setGlobal(key, val); err != nil {
+				return nil, fail("%v", err)
+			}
+			continue
+		}
+		o := p.Units[unit]
+		if err := setOverride(&o, key, val); err != nil {
+			return nil, fail("unit %s: %v", unit, err)
+		}
+		p.Units[unit] = o
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		return nil, fmt.Errorf("policy: max_backoff %v < base_backoff %v", p.MaxBackoff, p.BaseBackoff)
+	}
+	return p, nil
+}
+
+func (p *Policy) setGlobal(key, val string) error {
+	switch key {
+	case "max_restarts":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("max_restarts must be a non-negative integer, got %q", val)
+		}
+		p.MaxRestarts = n
+	case "window":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("window must be a non-negative duration, got %q", val)
+		}
+		p.Window = d
+	case "base_backoff":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("base_backoff must be a non-negative duration, got %q", val)
+		}
+		p.BaseBackoff = d
+	case "max_backoff":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("max_backoff must be a non-negative duration, got %q", val)
+		}
+		p.MaxBackoff = d
+	case "jitter_seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("jitter_seed must be an integer, got %q", val)
+		}
+		p.JitterSeed = n
+	case "watchdog_fuel":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("watchdog_fuel must be a non-negative integer, got %q", val)
+		}
+		p.WatchdogFuel = n
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+func setOverride(o *UnitOverride, key, val string) error {
+	switch key {
+	case "max_restarts":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("max_restarts must be a non-negative integer, got %q", val)
+		}
+		o.MaxRestarts = &n
+	case "base_backoff":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("base_backoff must be a non-negative duration, got %q", val)
+		}
+		o.BaseBackoff = &d
+	case "max_backoff":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("max_backoff must be a non-negative duration, got %q", val)
+		}
+		o.MaxBackoff = &d
+	default:
+		return fmt.Errorf("key %q cannot be set per unit", key)
+	}
+	return nil
+}

@@ -333,6 +333,16 @@ func (m *M) UnloadDynamic(name string) error {
 			}
 		}
 	}
+	// Interposition redirects aimed *at* this module pin it too: calls
+	// are being routed into its code right now. (Redirect sources may
+	// vanish freely — a key with no definition is never dispatched.)
+	for from, to := range m.redirect {
+		if owned[to] {
+			return &LoadError{Msg: fmt.Sprintf(
+				"dynamic: cannot unload module %q: calls to %q are interposed onto its symbol %q",
+				name, from, to)}
+		}
+	}
 
 	// Reclaim symbol-table entries.
 	for _, s := range mod.funcs {
@@ -408,13 +418,23 @@ func (m *M) DynModules() []string {
 // regions must be disjoint and in bounds. Test harnesses run it after
 // every load/unload step; it is cheap but not free.
 func (m *M) CheckDynInvariants() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("machine: dynamic invariant violated: "+format, args...)
+	}
+	// Every interposition target must be a defined function: a redirect
+	// onto a reclaimed module would turn calls into undefined-call
+	// traps, which is exactly the residue a failed swap must not leave
+	// behind. Checked before the dynamic tables because redirects can
+	// outlive the last module (static-to-static interposition).
+	for from, to := range m.redirect {
+		if _, ok := m.funcBySym(to); !ok {
+			return fail("redirect %q -> %q targets an undefined function", from, to)
+		}
+	}
 	if m.dyn == nil {
 		return nil
 	}
 	d := m.dyn
-	fail := func(format string, args ...any) error {
-		return fmt.Errorf("machine: dynamic invariant violated: "+format, args...)
-	}
 	ownedFunc := map[string]string{}
 	ownedGlobal := map[string]string{}
 	for _, mod := range d.modules {

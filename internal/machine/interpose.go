@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"fmt"
+
+	"knit/internal/obj"
+)
+
+// This file implements run-time symbol interposition: redirecting every
+// direct call (and Run entry) aimed at one function symbol to another
+// function with the same signature. It is the machine half of the
+// supervision layer's fallback swap — the paper's §2.3 interposition
+// story, applied to a live machine instead of a static link. Redirects
+// deliberately do not touch indirect calls: a function address taken
+// before the interposition keeps meaning the original code, exactly as
+// a real-machine PLT-level interposition would behave.
+
+// Interpose redirects direct calls and Run entries for sym to target.
+// Both must currently resolve to defined functions (static image or
+// live dynamic module) and agree on argument count. Existing redirects
+// whose target is sym are re-pointed at target too (path compression),
+// so chains never grow beyond one hop and a superseded module's symbols
+// stop being referenced the moment it is interposed away — which is
+// what lets the supervisor unload it afterwards.
+func (m *M) Interpose(sym, target string) error {
+	from, ok := m.funcBySym(sym)
+	if !ok {
+		return &LoadError{Msg: fmt.Sprintf("interpose: %q does not name a defined function", sym)}
+	}
+	// Resolve the target through existing redirects first: interposing
+	// a -> b while b is already redirected to c must land on c, or the
+	// table would grow multi-hop chains.
+	final := m.interposed(target)
+	if final == sym {
+		return &LoadError{Msg: fmt.Sprintf("interpose: redirect %q -> %q would form a cycle", sym, target)}
+	}
+	to, ok := m.funcBySym(final)
+	if !ok {
+		return &LoadError{Msg: fmt.Sprintf("interpose: target %q does not name a defined function", final)}
+	}
+	if from.NArgs != to.NArgs {
+		return &LoadError{Msg: fmt.Sprintf(
+			"interpose: %q takes %d args but target %q takes %d", sym, from.NArgs, final, to.NArgs)}
+	}
+	if m.redirect == nil {
+		m.redirect = map[string]string{}
+	}
+	for k, v := range m.redirect {
+		if v == sym {
+			m.redirect[k] = final
+		}
+	}
+	m.redirect[sym] = final
+	return nil
+}
+
+// Unpose removes the redirect installed for sym, if any, restoring
+// direct calls to the original definition.
+func (m *M) Unpose(sym string) { delete(m.redirect, sym) }
+
+// Interposed reports where calls to sym currently land: the redirect
+// target, or "" when sym is not interposed.
+func (m *M) Interposed(sym string) string {
+	if m.redirect == nil {
+		return ""
+	}
+	return m.redirect[sym]
+}
+
+// interposed resolves a symbol through the redirect table. Compression
+// in Interpose keeps the table one hop deep, but follow chains anyway
+// so a restored pre-compression snapshot stays correct.
+func (m *M) interposed(sym string) string {
+	if m.redirect == nil {
+		return sym
+	}
+	for hops := 0; hops <= len(m.redirect); hops++ {
+		next, ok := m.redirect[sym]
+		if !ok {
+			return sym
+		}
+		sym = next
+	}
+	return sym
+}
+
+// funcBySym resolves a symbol to its function definition across the
+// static image and live dynamic modules, without following redirects.
+func (m *M) funcBySym(sym string) (*obj.Func, bool) {
+	if f, found := m.Img.Entry[sym]; found {
+		return f, true
+	}
+	return m.dynFunc(sym)
+}
+
+// ResetData restores the initial (load-time) contents of the static
+// image's global data for the given symbols, returning how many were
+// reset. Symbols that are not image globals — functions, dynamic-module
+// data, ambient names — are skipped: a dynamic module's initial bytes
+// are not retained, so restarting a dynamic instance is re-running its
+// initializers only. The supervision layer uses this to give a failed
+// component a genuinely fresh start: statics back to their initializer
+// values, then its initializers re-run.
+func (m *M) ResetData(syms []string) int {
+	n := 0
+	for _, sym := range syms {
+		addr, ok := m.Img.GlobalAddr[sym]
+		if !ok {
+			continue
+		}
+		d, ok := m.Img.File.Datas[sym]
+		if !ok {
+			continue
+		}
+		end := addr + int64(d.Size)
+		if end > int64(len(m.Mem)) {
+			end = int64(len(m.Mem))
+		}
+		copy(m.Mem[addr:end], m.Img.initMem[addr:end])
+		n++
+	}
+	return n
+}

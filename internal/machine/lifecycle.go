@@ -1,15 +1,17 @@
 package machine
 
 // Snapshot is a restorable copy of a machine's mutable program state:
-// memory, stack pointer, and the dynamic-module symbol tables. It
-// deliberately excludes the performance counters (Cycles, Executed,
-// ...) — a rollback undoes what the program did, not the record that it
-// ran — and the host-side builtins, which belong to the embedder.
+// memory, stack pointer, the dynamic-module symbol tables, and the
+// interposition redirects. It deliberately excludes the performance
+// counters (Cycles, Executed, ...) — a rollback undoes what the program
+// did, not the record that it ran — and the host-side builtins, which
+// belong to the embedder.
 type Snapshot struct {
 	mem        []int64
 	sp         int64
 	stackLimit int64
 	dyn        *dynState
+	redirect   map[string]string
 }
 
 // Snapshot captures the machine's current program state. The snapshot
@@ -24,14 +26,20 @@ func (m *M) Snapshot() *Snapshot {
 	if m.dyn != nil {
 		s.dyn = m.dyn.clone()
 	}
+	if m.redirect != nil {
+		s.redirect = map[string]string{}
+		for k, v := range m.redirect {
+			s.redirect[k] = v
+		}
+	}
 	return s
 }
 
 // Restore rewinds the machine's program state to the snapshot: memory
 // contents (including any since-loaded dynamic modules' data), stack
-// pointer, and the dynamic symbol tables. Modules loaded after the
-// snapshot vanish; modules unloaded after it come back. Statistics and
-// registered builtins are left alone.
+// pointer, the dynamic symbol tables, and the interposition redirects.
+// Modules loaded after the snapshot vanish; modules unloaded after it
+// come back. Statistics and registered builtins are left alone.
 func (m *M) Restore(s *Snapshot) {
 	m.Mem = append([]int64(nil), s.mem...)
 	m.sp = s.sp
@@ -40,5 +48,13 @@ func (m *M) Restore(s *Snapshot) {
 		m.dyn = s.dyn.clone()
 	} else {
 		m.dyn = nil
+	}
+	if s.redirect != nil {
+		m.redirect = map[string]string{}
+		for k, v := range s.redirect {
+			m.redirect[k] = v
+		}
+	} else {
+		m.redirect = nil
 	}
 }

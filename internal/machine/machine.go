@@ -224,7 +224,37 @@ const (
 	// TrapUndefinedCall: direct call to a function that is neither
 	// defined nor a registered builtin.
 	TrapUndefinedCall
+	// TrapInjected: a fault injected by a test or supervision harness
+	// (see internal/knit/build/faultinject) — never produced by real
+	// simulated code.
+	TrapInjected
+
+	// numTrapKinds must stay last: it sizes the name table, and the
+	// exhaustiveness test walks [0, numTrapKinds).
+	numTrapKinds
 )
+
+// trapKindNames is indexed by TrapKind. Sizing the array with
+// numTrapKinds means adding a kind without naming it leaves a hole the
+// exhaustiveness test (TestTrapKindStringExhaustive) catches.
+var trapKindNames = [numTrapKinds]string{
+	TrapGeneric:          "generic",
+	TrapBudgetExhausted:  "budget-exhausted",
+	TrapBadAddress:       "bad-address",
+	TrapUnresolvedSymbol: "unresolved-symbol",
+	TrapBadStringIndex:   "bad-string-index",
+	TrapStackOverflow:    "stack-overflow",
+	TrapUndefinedCall:    "undefined-call",
+	TrapInjected:         "injected",
+}
+
+// String names the trap kind for reports and logs.
+func (k TrapKind) String() string {
+	if k >= 0 && k < numTrapKinds && trapKindNames[k] != "" {
+		return trapKindNames[k]
+	}
+	return fmt.Sprintf("TrapKind(%d)", int(k))
+}
 
 // Trap is a runtime error in simulated code. Unit, when known, names the
 // unit instance owning the faulting function (mapped back through the
@@ -276,14 +306,22 @@ type M struct {
 	// injection (see internal/knit/build/faultinject) and must not be
 	// relied on for program semantics.
 	PreRun func(entry string) error
+	// PreCall, when non-nil, is consulted before every simulated
+	// function-body entry (direct, indirect, and Run entries alike) with
+	// the function's program-unique name; a non-nil error aborts the call
+	// with that error. Like PreRun it exists for deterministic fault
+	// injection — returning a *Trap keeps unit attribution working — and
+	// must not carry program semantics. The hook is skipped for builtins.
+	PreCall func(fn string) error
 
 	sp         int64
 	stackLimit int64   // frames may not grow past this (dynamic data follows)
 	icache     []int64 // tag per line; -1 empty
 	prevLine   int64
 	depth      int
-	fuelEnd    int64     // absolute Executed bound for the current Run (0 = none)
-	dyn        *dynState // dynamically loaded modules (nil until used)
+	fuelEnd    int64             // absolute Executed bound for the current Run (0 = none)
+	dyn        *dynState         // dynamically loaded modules (nil until used)
+	redirect   map[string]string // interposed function symbols (nil until used)
 }
 
 // MaxCallDepth bounds simulated recursion.
@@ -318,6 +356,7 @@ func (m *M) Reset() {
 	}
 	m.prevLine = -100
 	m.dyn = nil // dynamic modules do not survive a reset
+	m.redirect = nil
 	m.depth = 0
 	m.fuelEnd = 0
 }
@@ -335,6 +374,7 @@ func (m *M) Run(entry string, args ...int64) (int64, error) {
 			return 0, err
 		}
 	}
+	entry = m.interposed(entry)
 	fn, ok := m.Img.Entry[entry]
 	if !ok {
 		fn, ok = m.dynFunc(entry)
@@ -396,6 +436,11 @@ func (m *M) fetch(textOff int64) {
 func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 	if m.depth >= MaxCallDepth {
 		return 0, &Trap{Kind: TrapStackOverflow, Msg: "call stack overflow", Func: fn.Name}
+	}
+	if m.PreCall != nil {
+		if err := m.PreCall(fn.Name); err != nil {
+			return 0, err
+		}
 	}
 	if len(args) != fn.NArgs {
 		return 0, &Trap{Msg: fmt.Sprintf("called with %d args, want %d", len(args), fn.NArgs), Func: fn.Name}
@@ -533,8 +578,12 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 }
 
 // dispatch performs a direct call: to a defined function, or to a
-// registered builtin when the symbol has no definition.
+// registered builtin when the symbol has no definition. Interposed
+// symbols (see Interpose) are redirected before lookup, so a supervisor
+// can reroute every direct call into a component without touching its
+// callers.
 func (m *M) dispatch(sym string, regs []int64, argRegs []obj.Reg, fn *obj.Func, pc int) (int64, error) {
+	sym = m.interposed(sym)
 	argv := make([]int64, len(argRegs))
 	for i, r := range argRegs {
 		argv[i] = regs[r]

@@ -254,3 +254,28 @@ func TestSnapshotRestore(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTrapKindStringExhaustive walks every declared kind: each must
+// have a distinct, non-placeholder name. Adding a TrapKind without a
+// trapKindNames entry fails here (and the array bound fails the build
+// if a kind is added after numTrapKinds).
+func TestTrapKindStringExhaustive(t *testing.T) {
+	seen := map[string]TrapKind{}
+	for k := TrapKind(0); k < numTrapKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "TrapKind(") {
+			t.Errorf("TrapKind(%d) has no name", int(k))
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("TrapKind(%d) and TrapKind(%d) share name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	if got := TrapKind(999).String(); got != "TrapKind(999)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+	if got := TrapInjected.String(); got != "injected" {
+		t.Errorf("TrapInjected.String() = %q, want injected", got)
+	}
+}
