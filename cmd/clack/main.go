@@ -31,11 +31,12 @@ func main() {
 		supFlag    = flag.Bool("supervise", false, "serve the router under the self-healing supervisor")
 		faultEvery = flag.Int("fault-every", 0, "with -supervise, kill a classifier element every N packets")
 		soak       = flag.Duration("soak", 0, "with -supervise, repeat serving runs for this long and check for goroutine leaks")
+		metrics    = flag.Bool("metrics", false, "with -supervise, print the per-instance observability report (each soak run dumps periodically)")
 	)
 	flag.Parse()
 
 	if *supFlag {
-		runSupervised(*packets, *faultEvery, *soak)
+		runSupervised(*packets, *faultEvery, *soak, *metrics)
 		return
 	}
 
@@ -69,7 +70,7 @@ func main() {
 // >= 90% goodput and converge (every instance healthy or
 // degraded-to-fallback); a soak repeats runs for the given duration and
 // additionally checks that supervision leaks no goroutines.
-func runSupervised(packets, faultEvery int, soak time.Duration) {
+func runSupervised(packets, faultEvery int, soak time.Duration, metrics bool) {
 	res, err := clack.BuildRouter(clack.Variant{})
 	if err != nil {
 		fail(err)
@@ -79,6 +80,7 @@ func runSupervised(packets, faultEvery int, soak time.Duration) {
 	pol := supervise.Default()
 	runs, totalFaults := 0, 0
 	deadline := time.Now().Add(soak)
+	var lastDump time.Time
 	for {
 		rep, err := clack.ServeSupervised(res, spec, pol, supervise.Wall(), faultEvery)
 		if err != nil {
@@ -106,6 +108,14 @@ func runSupervised(packets, faultEvery int, soak time.Duration) {
 						st.Path, st.State, st.Restarts, st.Swaps, st.ActiveModule)
 				}
 			}
+		}
+		// With -metrics, dump the per-instance ledger after the first run
+		// and then at most every 2s of a soak, so a long soak narrates its
+		// component behavior without flooding the terminal.
+		if metrics && rep.Metrics != nil && (runs == 1 || time.Since(lastDump) >= 2*time.Second) {
+			lastDump = time.Now()
+			fmt.Printf("clack metrics (run %d):\n", runs)
+			rep.Metrics.Format(os.Stdout)
 		}
 		if !time.Now().Before(deadline) {
 			break

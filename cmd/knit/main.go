@@ -25,6 +25,7 @@ import (
 	"knit/internal/asm"
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
+	"knit/internal/knit/observe"
 	"knit/internal/knit/supervise"
 	"knit/internal/machine"
 )
@@ -44,6 +45,8 @@ func main() {
 		supFlag  = flag.Bool("supervise", false, "run -run under the self-healing supervisor (restart/fallback/escalate per policy)")
 		policy   = flag.String("policy", "", "supervision policy file (default: built-in policy)")
 		calls    = flag.Int("calls", 1, "with -supervise, number of supervised calls to drive")
+		metrics  = flag.Bool("metrics", false, "with -run, attribute calls/cycles/traps to unit instances and print the per-instance report")
+		traceOut = flag.String("trace", "", "with -run, write a JSON-lines call trace (most recent spans) to this file")
 		schedule = flag.Bool("schedule", false, "print the initializer/finalizer schedule")
 		showTime = flag.Bool("time", false, "print the per-phase build-time breakdown")
 		dumpFlat = flag.Bool("dump-flat", false, "print the flattened merged source and exit")
@@ -137,19 +140,52 @@ func main() {
 		con := machine.InstallConsole(m)
 		ser := machine.InstallSerial(m)
 		machine.InstallStopWatch(m)
+		var col *observe.Collector
+		var tracer *observe.Tracer
+		if *metrics || *traceOut != "" {
+			col = observe.Attach(m)
+			res.SetObserver(m, col)
+			if *traceOut != "" {
+				tracer = col.Trace(4096)
+			}
+		}
 		if *supFlag {
-			runSupervised(res, m, parts[0], parts[1], *arg, *policy, *fuel, *calls)
+			runSupervised(res, m, parts[0], parts[1], *arg, *policy, *fuel, *calls, col)
 			printStreams(con, ser)
-			return
+		} else {
+			v, err := res.Run(m, parts[0], parts[1], *arg)
+			if err != nil {
+				fail(err)
+			}
+			printStreams(con, ser)
+			fmt.Printf("%s(%d) = %d   [%d cycles, %d instructions]\n",
+				*run, *arg, v, m.Cycles, m.Executed)
 		}
-		v, err := res.Run(m, parts[0], parts[1], *arg)
-		if err != nil {
-			fail(err)
+		if *metrics {
+			fmt.Println("knit: per-instance metrics:")
+			col.Report().Format(os.Stdout)
 		}
-		printStreams(con, ser)
-		fmt.Printf("%s(%d) = %d   [%d cycles, %d instructions]\n",
-			*run, *arg, v, m.Cycles, m.Executed)
+		if tracer != nil {
+			if err := writeTrace(*traceOut, tracer); err != nil {
+				fail(err)
+			}
+			fmt.Printf("knit: wrote %d trace spans (%d recorded) to %s\n",
+				len(tracer.Spans()), tracer.Recorded(), *traceOut)
+		}
 	}
+}
+
+// writeTrace dumps the tracer's retained spans as JSON lines.
+func writeTrace(path string, tr *observe.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runSupervised drives the requested export through the self-healing
@@ -158,7 +194,7 @@ func main() {
 // backoff-and-restart, fallback interposition, scope escalation. The
 // final report enumerates each unit instance's supervision state.
 func runSupervised(res *build.Result, m *machine.M, bundle, sym string,
-	arg int64, policyPath string, fuel int64, calls int) {
+	arg int64, policyPath string, fuel int64, calls int, col *observe.Collector) {
 	pol := supervise.Default()
 	if policyPath != "" {
 		data, err := os.ReadFile(policyPath)
@@ -177,6 +213,9 @@ func runSupervised(res *build.Result, m *machine.M, bundle, sym string,
 		fail(err)
 	}
 	sup := supervise.New(res, m, pol, supervise.Wall())
+	if col != nil {
+		sup.Observe(col)
+	}
 	faults := 0
 	var last int64
 	for i := 0; i < calls; i++ {

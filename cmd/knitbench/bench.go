@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"knit/internal/clack"
+	"knit/internal/knit/build"
+	"knit/internal/knit/observe"
+	"knit/internal/machine"
+)
+
+// This file is the CI half of knitbench: machine-readable benchmark
+// results (-json), the regression gate that compares them against
+// committed baselines (-gate), and the observability overhead
+// benchmark (-observe).
+//
+// Wall-clock numbers are not comparable across machines, so every
+// result carries calib_ns — the time a fixed pure-CPU reference loop
+// takes on the measuring host. The gate normalizes wall metrics by the
+// calibration ratio before applying the tolerance; cycles-per-packet is
+// fully deterministic (simulated cycles) and is compared directly.
+
+// RouterBench is BENCH_router.json.
+type RouterBench struct {
+	Bench              string  `json:"bench"`
+	Packets            int     `json:"packets"`
+	CyclesPerPacket    float64 `json:"cycles_per_packet"`
+	PacketsPerSec      float64 `json:"packets_per_sec"`
+	ObserveOverheadPct float64 `json:"observe_overhead_pct"`
+	CalibNs            int64   `json:"calib_ns"`
+}
+
+// BuildTimeBench is BENCH_buildtime.json.
+type BuildTimeBench struct {
+	Bench          string  `json:"bench"`
+	ColdNs         int64   `json:"cold_ns"`
+	WarmNs         int64   `json:"warm_ns"`
+	ParallelNs     int64   `json:"parallel_ns"`
+	WarmFracOfCold float64 `json:"warm_frac_of_cold"`
+	CacheHits      int     `json:"cache_hits"`
+	CompileJobs    int     `json:"compile_jobs"`
+	CalibNs        int64   `json:"calib_ns"`
+}
+
+// calibrate times a fixed xorshift loop — a pure-CPU workload that does
+// not touch this repository's code — taking the fastest of three runs.
+// The gate divides wall metrics by it to factor out machine speed.
+func calibrate() int64 {
+	best := int64(1) << 62
+	var sink uint64
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		x := uint64(88172645463325252)
+		for i := 0; i < 20_000_000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			sink += x
+		}
+		if d := time.Since(start).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	if sink == 42 { // defeat dead-code elimination
+		fmt.Fprintln(os.Stderr, "calibration sink hit")
+	}
+	return best
+}
+
+const benchRounds = 5
+
+// measureRouter benchmarks the modular Clack router: deterministic
+// cycles per packet, wall-clock packets per second (fastest of
+// benchRounds), and the instrumented-vs-uninstrumented overhead of an
+// attached observe.Collector.
+func measureRouter(packets int) *RouterBench {
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	spec := clack.DefaultTraffic(packets)
+
+	run := func(prep func(*machine.M)) (*clack.Measurement, time.Duration) {
+		var meas *clack.Measurement
+		best := time.Duration(1) << 62
+		for r := 0; r < benchRounds; r++ {
+			start := time.Now()
+			m, err := clack.RunRouterWith(res, spec, prep)
+			if err != nil {
+				fail(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			meas = m
+		}
+		return meas, best
+	}
+
+	meas, plain := run(nil)
+	instrumented, traced := run(func(m *machine.M) {
+		c := observe.Attach(m)
+		c.Trace(1024)
+	})
+	// Attaching the collector must not change the simulated machine.
+	if instrumented.CyclesPerPk != meas.CyclesPerPk {
+		fail(fmt.Errorf("observe collector changed the simulation: %.0f vs %.0f cycles/packet",
+			instrumented.CyclesPerPk, meas.CyclesPerPk))
+	}
+
+	return &RouterBench{
+		Bench:              "router",
+		Packets:            packets,
+		CyclesPerPacket:    meas.CyclesPerPk,
+		PacketsPerSec:      float64(meas.Packets) / plain.Seconds(),
+		ObserveOverheadPct: 100 * (traced.Seconds() - plain.Seconds()) / plain.Seconds(),
+		CalibNs:            calibrate(),
+	}
+}
+
+// measureBuildTime benchmarks the build pipeline on the Clack router:
+// cold (empty compile cache), warm (fully cached), and parallel cold
+// builds, fastest of benchRounds each.
+func measureBuildTime() *BuildTimeBench {
+	jobs := runtime.GOMAXPROCS(0)
+	cold := time.Duration(1) << 62
+	warm := cold
+	par := cold
+	var hits, cjobs int
+	for r := 0; r < benchRounds; r++ {
+		cache := build.NewCache()
+		withCache := func(o *build.Options) { o.Cache = cache; o.Parallelism = 1 }
+		start := time.Now()
+		if _, err := clack.BuildRouterTuned(clack.Variant{}, withCache); err != nil {
+			fail(err)
+		}
+		if d := time.Since(start); d < cold {
+			cold = d
+		}
+		start = time.Now()
+		resWarm, err := clack.BuildRouterTuned(clack.Variant{}, withCache)
+		if err != nil {
+			fail(err)
+		}
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+		hits, cjobs = resWarm.Timings.CacheHits, resWarm.Timings.CompileJobs
+		start = time.Now()
+		if _, err := clack.BuildRouterTuned(clack.Variant{},
+			func(o *build.Options) { o.Parallelism = jobs }); err != nil {
+			fail(err)
+		}
+		if d := time.Since(start); d < par {
+			par = d
+		}
+	}
+	return &BuildTimeBench{
+		Bench:          "buildtime",
+		ColdNs:         cold.Nanoseconds(),
+		WarmNs:         warm.Nanoseconds(),
+		ParallelNs:     par.Nanoseconds(),
+		WarmFracOfCold: float64(warm) / float64(cold),
+		CacheHits:      hits,
+		CompileJobs:    cjobs,
+		CalibNs:        calibrate(),
+	}
+}
+
+// runObserve is knitbench -observe: the instrumentation overhead
+// benchmark on the clack router hot path (target <5%).
+func runObserve(packets int) {
+	fmt.Println("== Observability overhead: clack router, collector attached vs not ==")
+	rb := measureRouter(packets)
+	fmt.Printf("   %d packets, %.0f cycles/packet (identical instrumented and not)\n",
+		rb.Packets, rb.CyclesPerPacket)
+	fmt.Printf("   uninstrumented throughput %.0f packets/sec (host calib %v)\n",
+		rb.PacketsPerSec, time.Duration(rb.CalibNs))
+	verdict := "PASS (< 5%)"
+	if rb.ObserveOverheadPct >= 5 {
+		verdict = "ABOVE the 5% target"
+	}
+	fmt.Printf("   collector+tracer overhead %+.2f%% — %s\n\n", rb.ObserveOverheadPct, verdict)
+}
+
+// runJSON is knitbench -json: write BENCH_router.json and
+// BENCH_buildtime.json into outDir for the CI gate and baselines.
+func runJSON(outDir string, packets int) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fail(err)
+	}
+	rb := measureRouter(packets)
+	bb := measureBuildTime()
+	writeBench(filepath.Join(outDir, "BENCH_router.json"), rb)
+	writeBench(filepath.Join(outDir, "BENCH_buildtime.json"), bb)
+	fmt.Printf("knitbench: wrote %s and %s\n",
+		filepath.Join(outDir, "BENCH_router.json"), filepath.Join(outDir, "BENCH_buildtime.json"))
+	fmt.Printf("  router: %.0f cycles/packet, %.0f packets/sec, observe overhead %+.2f%%\n",
+		rb.CyclesPerPacket, rb.PacketsPerSec, rb.ObserveOverheadPct)
+	fmt.Printf("  buildtime: cold %v, warm %v (%.1f%% of cold), parallel %v, cache %d/%d\n",
+		time.Duration(bb.ColdNs), time.Duration(bb.WarmNs), 100*bb.WarmFracOfCold,
+		time.Duration(bb.ParallelNs), bb.CacheHits, bb.CompileJobs)
+}
+
+func writeBench(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func readBench[T any](path string) *T {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	v := new(T)
+	if err := json.Unmarshal(data, v); err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return v
+}
+
+// runGate is knitbench -gate: re-measure and compare against the
+// committed baselines in baseDir, failing on a regression beyond tol
+// (e.g. 0.25 = 25%). Deterministic metrics (simulated cycles per
+// packet) compare directly; wall-clock metrics are normalized by each
+// measurement's calibration so a slower CI host is not a regression.
+func runGate(baseDir string, tol float64, packets int) {
+	baseR := readBench[RouterBench](filepath.Join(baseDir, "BENCH_router.json"))
+	baseB := readBench[BuildTimeBench](filepath.Join(baseDir, "BENCH_buildtime.json"))
+	rb := measureRouter(packets)
+	bb := measureBuildTime()
+
+	var failures []string
+	check := func(name string, current, baseline float64, lowerIsBetter bool) {
+		var regressed bool
+		var delta float64
+		if lowerIsBetter {
+			delta = current/baseline - 1
+			regressed = current > baseline*(1+tol)
+		} else {
+			delta = 1 - current/baseline
+			regressed = current < baseline*(1-tol)
+		}
+		verdict := "ok"
+		if regressed {
+			verdict = fmt.Sprintf("REGRESSED beyond %.0f%%", 100*tol)
+			failures = append(failures, name)
+		}
+		fmt.Printf("  %-28s baseline %12.1f  current %12.1f  (%+.1f%%)  %s\n",
+			name, baseline, current, 100*delta, verdict)
+	}
+
+	fmt.Printf("knitbench gate: tolerance %.0f%%, host calib %v (baseline %v)\n",
+		100*tol, time.Duration(rb.CalibNs), time.Duration(baseR.CalibNs))
+	// Simulated cycles are deterministic: no calibration needed.
+	check("router cycles/packet", rb.CyclesPerPacket, baseR.CyclesPerPacket, true)
+	// Throughput normalized to packets per calibration interval:
+	// multiplying by the host's calibration time cancels machine speed
+	// from both sides.
+	check("router packets/calib",
+		rb.PacketsPerSec*float64(rb.CalibNs)/1e9, baseR.PacketsPerSec*float64(baseR.CalibNs)/1e9, false)
+	// Build times in calibration units.
+	check("warm build (calib units)",
+		float64(bb.WarmNs)/float64(bb.CalibNs), float64(baseB.WarmNs)/float64(baseB.CalibNs), true)
+	check("cold build (calib units)",
+		float64(bb.ColdNs)/float64(bb.CalibNs), float64(baseB.ColdNs)/float64(baseB.CalibNs), true)
+
+	if len(failures) > 0 {
+		fail(fmt.Errorf("bench gate: regression in %v", failures))
+	}
+	fmt.Println("knitbench gate: PASS")
+}

@@ -38,9 +38,27 @@ func main() {
 		fig1c     = flag.Bool("fig1c", false, "interposition with ld vs Knit (Figure 1c)")
 		ablations = flag.Bool("ablations", false, "mechanism ablations for the Table 1 result")
 		recovery  = flag.Bool("recovery", false, "fault-to-restored-service latency, restart vs fallback swap")
+		observeF  = flag.Bool("observe", false, "observability overhead: clack router with a metrics collector attached vs not")
+		jsonOut   = flag.Bool("json", false, "write BENCH_router.json and BENCH_buildtime.json (see -out) and exit")
+		outDir    = flag.String("out", ".", "with -json, output directory for the BENCH_*.json files")
+		gateDir   = flag.String("gate", "", "compare fresh measurements against the BENCH_*.json baselines in this directory and fail on regression")
+		tolerance = flag.Float64("tolerance", 0.25, "with -gate, allowed fractional regression (0.25 = 25%)")
 		packets   = flag.Int("packets", 2000, "router workload size")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		runJSON(*outDir, *packets)
+		return
+	}
+	if *gateDir != "" {
+		runGate(*gateDir, *tolerance, *packets)
+		return
+	}
+	if *observeF {
+		runObserve(*packets)
+		return
+	}
 	all := !(*table1 || *table2 || *micro || *census || *buildtime || *fig1c || *ablations || *recovery)
 
 	if all || *fig1c {

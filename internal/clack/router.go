@@ -170,10 +170,20 @@ type Measurement struct {
 // the measurement. Costs may differ from the build's only through the
 // machine; the image embeds the build-time cost model.
 func RunRouter(res *build.Result, spec TrafficSpec) (*Measurement, error) {
+	return RunRouterWith(res, spec, nil)
+}
+
+// RunRouterWith is RunRouter with a hook over the fresh machine before
+// the run starts — the observability benchmark uses it to attach a
+// metrics collector (observe.Attach) to an otherwise identical run.
+func RunRouterWith(res *build.Result, spec TrafficSpec, prep func(*machine.M)) (*Measurement, error) {
 	m := res.NewMachine()
 	streams := spec.Generate()
 	stats := InstallDevices(m, streams)
 	watch := machine.InstallStopWatch(m)
+	if prep != nil {
+		prep(m)
+	}
 	_, err := res.Run(m, "main", "kmain", int64(spec.Packets+16))
 	if err != nil {
 		return nil, err

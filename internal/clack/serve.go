@@ -6,6 +6,7 @@ import (
 	"knit/internal/knit/build"
 	"knit/internal/knit/build/faultinject"
 	"knit/internal/knit/link"
+	"knit/internal/knit/observe"
 	"knit/internal/knit/supervise"
 	"knit/internal/machine"
 )
@@ -27,6 +28,11 @@ type ServeReport struct {
 	Statuses   []supervise.InstanceStatus
 	Recoveries []supervise.RecoveryRecord
 	Events     []supervise.Event
+	// Metrics is the per-instance observability snapshot for the run: a
+	// collector rides on every supervised serve, so calls, cycles, traps,
+	// restarts, and swaps are attributed per unit instance (clack
+	// -metrics renders it).
+	Metrics *observe.Report
 }
 
 // FirstInstanceOf returns the first instance of the named unit in the
@@ -53,6 +59,8 @@ func ServeSupervised(res *build.Result, spec TrafficSpec, pol *supervise.Policy,
 	m := res.NewMachine()
 	stats := InstallDevices(m, spec.Generate())
 	machine.InstallStopWatch(m) // elements tick the measurement window
+	col := observe.Attach(m)    // near-zero cost; every serve is observable
+	res.SetObserver(m, col)
 	if err := res.RunInit(m); err != nil {
 		return nil, fmt.Errorf("clack: init: %w", err)
 	}
@@ -68,6 +76,7 @@ func ServeSupervised(res *build.Result, spec TrafficSpec, pol *supervise.Policy,
 	}
 
 	sup := supervise.New(res, m, pol, clk)
+	sup.Observe(col)
 	rep := &ServeReport{Stats: stats}
 	// Each iteration consumes at least one packet or reports the traffic
 	// dry, so this bound is never reached by a healthy or degraded
@@ -96,6 +105,7 @@ func ServeSupervised(res *build.Result, spec TrafficSpec, pol *supervise.Policy,
 	rep.Statuses = sup.Report()
 	rep.Recoveries = sup.Recoveries()
 	rep.Events = sup.Events()
+	rep.Metrics = col.Report()
 	if err := m.CheckDynInvariants(); err != nil {
 		return nil, fmt.Errorf("clack: dynamic invariants after serving: %w", err)
 	}

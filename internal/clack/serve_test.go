@@ -7,6 +7,7 @@ import (
 
 	"knit/internal/knit/build"
 	"knit/internal/knit/build/faultinject"
+	"knit/internal/knit/observe"
 	"knit/internal/knit/supervise"
 )
 
@@ -63,6 +64,28 @@ func TestSupervisedRouterKeepsGoodput(t *testing.T) {
 	}
 	if len(rep.Stats.TxBad) > 0 {
 		t.Errorf("malformed transmissions under supervision: %v", rep.Stats.TxBad)
+	}
+
+	// The serve-time collector attributed the run: the report must carry
+	// per-instance metrics, with the victim's restarts and swap on the
+	// victim's ledger and the bulk of the calls attributed somewhere.
+	if rep.Metrics == nil || rep.Metrics.TotalCalls() == 0 {
+		t.Fatal("serve report carries no observability metrics")
+	}
+	var vm *observe.InstanceMetrics
+	for i := range rep.Metrics.Instances {
+		if rep.Metrics.Instances[i].Path == victim.Path {
+			vm = &rep.Metrics.Instances[i]
+		}
+	}
+	if vm == nil {
+		t.Fatalf("no metrics ledger for victim %s", victim.Path)
+	}
+	if vm.Restarts != 2 || vm.Swaps != 1 {
+		t.Errorf("victim ledger restarts=%d swaps=%d, want 2 and 1", vm.Restarts, vm.Swaps)
+	}
+	if vm.TrapTotal() != 3 {
+		t.Errorf("victim ledger traps = %d, want 3", vm.TrapTotal())
 	}
 }
 

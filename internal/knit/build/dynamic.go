@@ -130,7 +130,9 @@ func (r *Result) LoadDynamic(m *machine.M, du DynamicUnit) (*LoadedUnit, error) 
 		if ini.Finalizer {
 			continue
 		}
-		if _, err := m.Run(ini.GlobalName); err != nil {
+		_, err := m.Run(ini.GlobalName)
+		r.event(m, modName, "init")
+		if err != nil {
 			m.Restore(snap)
 			return nil, &LifecycleError{
 				Op:         "dynamic-init",
@@ -191,7 +193,9 @@ func (lu *LoadedUnit) Unload(m *machine.M) error {
 		if !ini.Finalizer {
 			continue
 		}
-		if _, err := m.Run(ini.GlobalName); err != nil {
+		_, err := m.Run(ini.GlobalName)
+		r.event(m, lu.modName, "fini")
+		if err != nil {
 			m.Restore(snap)
 			return &LifecycleError{
 				Op:         "unload",
@@ -208,6 +212,7 @@ func (lu *LoadedUnit) Unload(m *machine.M) error {
 		return err
 	}
 	st.loaded = append(st.loaded[:idx], st.loaded[idx+1:]...)
+	r.event(m, lu.modName, "unload")
 	return nil
 }
 

@@ -99,7 +99,9 @@ func (r *Result) SwapFallback(m *machine.M, failing *link.Instance) (*LoadedUnit
 		if ini.Finalizer {
 			continue
 		}
-		if _, err := m.Run(ini.GlobalName); err != nil {
+		_, err := m.Run(ini.GlobalName)
+		r.event(m, modName, "init")
+		if err != nil {
 			m.Restore(snap)
 			return nil, &LifecycleError{
 				Op:         "swap",
@@ -131,6 +133,7 @@ func (r *Result) SwapFallback(m *machine.M, failing *link.Instance) (*LoadedUnit
 		}
 	}
 	st.loaded = append(st.loaded, inst)
+	r.event(m, failing.Path, "swap")
 	return &LoadedUnit{Instance: inst, res: r, modName: modName}, nil
 }
 

@@ -50,7 +50,9 @@ func (r *Result) RestartInstance(m *machine.M, inst *link.Instance) error {
 		if ini.Finalizer {
 			continue
 		}
-		if _, err := m.Run(ini.GlobalName); err != nil {
+		_, err := m.Run(ini.GlobalName)
+		r.event(m, inst.Path, "init")
+		if err != nil {
 			m.Restore(snap)
 			return &LifecycleError{
 				Op:         "restart",
@@ -62,6 +64,7 @@ func (r *Result) RestartInstance(m *machine.M, inst *link.Instance) error {
 			}
 		}
 	}
+	r.event(m, inst.Path, "restart")
 	return nil
 }
 
@@ -103,7 +106,9 @@ func (r *Result) RestartScope(m *machine.M, scope string) error {
 		}
 	}
 	for _, i := range r.Schedule.InitsForScope(scope) {
-		if _, err := m.Run(r.Schedule.Inits[i]); err != nil {
+		_, err := m.Run(r.Schedule.Inits[i])
+		r.event(m, r.Schedule.InitSteps[i].Instance, "init")
+		if err != nil {
 			return fail(r.Schedule.InitSteps[i], err)
 		}
 	}
@@ -112,12 +117,20 @@ func (r *Result) RestartScope(m *machine.M, scope string) error {
 			if ini.Finalizer {
 				continue
 			}
-			if _, err := m.Run(ini.GlobalName); err != nil {
+			_, err := m.Run(ini.GlobalName)
+			r.event(m, inst.Path, "init")
+			if err != nil {
 				return fail(sched.Step{
 					Global: ini.GlobalName, Func: ini.Func, Instance: inst.Path, Bundle: ini.Bundle,
 				}, err)
 			}
 		}
+	}
+	for _, inst := range inScope {
+		r.event(m, inst.Path, "restart")
+	}
+	for _, inst := range dynInScope {
+		r.event(m, inst.Path, "restart")
 	}
 	return nil
 }

@@ -38,12 +38,23 @@ type Result struct {
 	mach map[*machine.M]*machState
 }
 
+// Observer receives build-layer lifecycle events for one machine:
+// every initializer and finalizer step that runs (including rollback
+// unwinds and restart re-runs), plus the higher-level "restart",
+// "swap", and "unload" operations, each attributed to its unit-instance
+// path. internal/knit/observe.Collector implements it; the interface
+// lives here so the build layer stays free of observability imports.
+type Observer interface {
+	LifecycleEvent(instance, op string)
+}
+
 // machState tracks what the driver has already done on one machine, so
 // Run initializes each machine exactly once and finalizes it once.
 type machState struct {
 	initDone bool
 	finiDone bool
 	loaded   []*link.Instance // dynamically loaded units, in load order
+	obs      Observer
 }
 
 func (r *Result) stateOf(m *machine.M) *machState {
@@ -58,6 +69,20 @@ func (r *Result) stateOf(m *machine.M) *machState {
 		r.mach[m] = st
 	}
 	return st
+}
+
+// SetObserver installs (or, with nil, removes) the lifecycle observer
+// for one machine. Events fire on the goroutine performing the
+// lifecycle operation.
+func (r *Result) SetObserver(m *machine.M, obs Observer) {
+	r.stateOf(m).obs = obs
+}
+
+// event reports one lifecycle step to the machine's observer, if any.
+func (r *Result) event(m *machine.M, instance, op string) {
+	if obs := r.stateOf(m).obs; obs != nil {
+		obs.LifecycleEvent(instance, op)
+	}
 }
 
 // NewMachine creates a fresh machine for the built image. Device
@@ -94,6 +119,7 @@ func (r *Result) RunInit(m *machine.M) error {
 	snap := m.Snapshot()
 	for i, name := range r.Schedule.Inits {
 		_, err := m.Run(name)
+		r.event(m, r.Schedule.InitSteps[i].Instance, "init")
 		if err == nil {
 			continue
 		}
@@ -109,6 +135,7 @@ func (r *Result) RunInit(m *machine.M) error {
 		// recently ready first, collecting (not masking) any failures.
 		for _, j := range r.Schedule.FinsReadyAfter(i) {
 			fin := r.Schedule.FinSteps[j]
+			r.event(m, fin.Instance, "fini")
 			if _, ferr := m.Run(fin.Global); ferr != nil {
 				lerr.RollbackErrs = append(lerr.RollbackErrs, &LifecycleError{
 					Op: "fini", Unit: fin.Instance, Func: fin.Func, Global: fin.Global, Err: ferr,
@@ -138,6 +165,7 @@ func (r *Result) RunFini(m *machine.M) error {
 	var errs []error
 	for i, name := range r.Schedule.Fins {
 		_, err := m.Run(name)
+		r.event(m, r.Schedule.FinSteps[i].Instance, "fini")
 		if err == nil {
 			continue
 		}

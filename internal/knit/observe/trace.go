@@ -1,0 +1,135 @@
+package observe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"knit/internal/machine"
+)
+
+// Span is one completed simulated call in a trace. Spans are recorded
+// at call completion (post-order): a span's callees appear before it,
+// at Depth one greater, with [Start, Start+Cycles] cycle intervals
+// nested strictly inside its own.
+type Span struct {
+	Seq      uint64 `json:"seq"`                // completion order, monotonically increasing
+	Depth    int    `json:"depth"`              // nesting depth at entry; 0 = top-level run
+	Instance string `json:"instance,omitempty"` // owning unit-instance path, if attributed
+	Fn       string `json:"fn"`                 // program-unique entry symbol
+	Start    int64  `json:"start"`              // machine cycles at call entry
+	Cycles   int64  `json:"cycles"`             // fuel delta: cycles consumed, callees included
+	Err      string `json:"err,omitempty"`      // the call's error, when it failed
+}
+
+// Tracer is a fixed-capacity ring buffer of recent Spans. Recording
+// overwrites the oldest span once full and never allocates, so a tracer
+// can stay attached to a serving hot path.
+type Tracer struct {
+	buf []Span
+	n   uint64 // spans recorded since attach (not capped by len(buf))
+}
+
+// record stores one completed call in the ring. The error message is
+// materialized only on the fault path.
+func (t *Tracer) record(ci machine.CallInfo, instance string) {
+	sp := &t.buf[t.n%uint64(len(t.buf))]
+	sp.Seq = t.n
+	sp.Depth = ci.Depth
+	sp.Instance = instance
+	sp.Fn = ci.Fn
+	sp.Start = ci.Start
+	sp.Cycles = ci.Cycles
+	if ci.Err != nil {
+		sp.Err = ci.Err.Error()
+	} else {
+		sp.Err = ""
+	}
+	t.n++
+}
+
+// Recorded is the total number of spans seen, including any the ring
+// has already overwritten.
+func (t *Tracer) Recorded() uint64 { return t.n }
+
+// Spans returns the retained spans oldest-first.
+func (t *Tracer) Spans() []Span {
+	if t.n <= uint64(len(t.buf)) {
+		out := make([]Span, t.n)
+		copy(out, t.buf[:t.n])
+		return out
+	}
+	out := make([]Span, 0, len(t.buf))
+	start := t.n % uint64(len(t.buf))
+	out = append(out, t.buf[start:]...)
+	out = append(out, t.buf[:start]...)
+	return out
+}
+
+// WriteJSON emits the retained spans as JSON lines (one span object per
+// line, oldest first) — the knit -trace FILE format.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, sp := range t.Spans() {
+		b, err := json.Marshal(sp)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a JSON-lines trace back into spans. Blank lines are
+// skipped; a malformed line is an error naming its line number.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal(raw, &sp); err != nil {
+			return nil, fmt.Errorf("observe: trace line %d: %w", line, err)
+		}
+		out = append(out, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Node is a span with its reconstructed callees, in call order.
+type Node struct {
+	Span
+	Children []*Node
+}
+
+// Nest reconstructs the call tree from a post-order span stream: a span
+// at depth d adopts every not-yet-adopted span at depth d+1 recorded
+// before it. Spans whose parent was overwritten by the ring (a
+// truncated trace) surface as additional roots, ordered by Seq.
+func Nest(spans []Span) []*Node {
+	pending := map[int][]*Node{}
+	for i := range spans {
+		n := &Node{Span: spans[i]}
+		n.Children = pending[n.Depth+1]
+		pending[n.Depth+1] = nil
+		pending[n.Depth] = append(pending[n.Depth], n)
+	}
+	var roots []*Node
+	for _, ns := range pending {
+		roots = append(roots, ns...)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Seq < roots[j].Seq })
+	return roots
+}

@@ -1,0 +1,178 @@
+package observe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runTraced runs app_main n times with a tracer of the given capacity
+// attached and returns the tracer.
+func runTraced(t *testing.T, capacity, runs int) *Tracer {
+	t.Helper()
+	m := ownedMachine(t)
+	c := Attach(m)
+	tr := c.Trace(capacity)
+	for i := 0; i < runs; i++ {
+		if _, err := m.Run("app_main", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestTraceRoundTrip is the round-trip test from the issue: emit
+// JSON-lines, re-parse them, and reconstruct the call nesting. Two runs
+// of app_main -> disk_read -> net_send must come back as two roots with
+// identical two-level chains under them.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := runTraced(t, 64, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 6 {
+		t.Fatalf("round-tripped %d spans, want 6", len(spans))
+	}
+	if got := tr.Spans(); len(got) != len(spans) {
+		t.Fatalf("tracer retains %d, parsed %d", len(got), len(spans))
+	} else {
+		for i := range spans {
+			if spans[i] != got[i] {
+				t.Errorf("span %d changed in round trip:\n  emitted %+v\n  parsed  %+v", i, got[i], spans[i])
+			}
+		}
+	}
+
+	roots := Nest(spans)
+	if len(roots) != 2 {
+		t.Fatalf("reconstructed %d roots, want 2: %+v", len(roots), roots)
+	}
+	for i, root := range roots {
+		chain := []string{root.Fn}
+		inst := []string{root.Instance}
+		n := root
+		for len(n.Children) == 1 {
+			n = n.Children[0]
+			chain = append(chain, n.Fn)
+			inst = append(inst, n.Instance)
+		}
+		if len(n.Children) != 0 {
+			t.Fatalf("root %d: unexpected fan-out at %s", i, n.Fn)
+		}
+		if strings.Join(chain, ">") != "app_main>disk_read>net_send" {
+			t.Errorf("root %d chain = %v", i, chain)
+		}
+		if strings.Join(inst, ">") != "Top/App#0>Top/Disk#1>Top/Net#2" {
+			t.Errorf("root %d instances = %v", i, inst)
+		}
+		// Spans are recorded post-order: every child completes (and is
+		// sequenced) before its parent, inside the parent's fuel interval.
+		for p := root; len(p.Children) > 0; p = p.Children[0] {
+			ch := p.Children[0]
+			if ch.Seq >= p.Seq {
+				t.Errorf("child %s seq %d not before parent %s seq %d", ch.Fn, ch.Seq, p.Fn, p.Seq)
+			}
+			if ch.Start < p.Start || ch.Start+ch.Cycles > p.Start+p.Cycles {
+				t.Errorf("child %s interval [%d,+%d] outside parent %s [%d,+%d]",
+					ch.Fn, ch.Start, ch.Cycles, p.Fn, p.Start, p.Cycles)
+			}
+			if ch.Depth != p.Depth+1 {
+				t.Errorf("child %s depth %d under parent depth %d", ch.Fn, ch.Depth, p.Depth)
+			}
+		}
+	}
+}
+
+// TestTraceRingTruncation: when the ring wraps, Spans() returns the
+// newest entries oldest-first and Nest still produces a forest — spans
+// whose parent was overwritten surface as roots instead of vanishing.
+func TestTraceRingTruncation(t *testing.T) {
+	tr := runTraced(t, 16, 10) // 30 spans through a 16-slot ring
+	if tr.Recorded() != 30 {
+		t.Fatalf("Recorded = %d, want 30", tr.Recorded())
+	}
+	spans := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("retained %d spans, want 16", len(spans))
+	}
+	for i := range spans {
+		if want := uint64(14 + i); spans[i].Seq != want {
+			t.Errorf("spans[%d].Seq = %d, want %d (oldest-first)", i, spans[i].Seq, want)
+		}
+	}
+	roots := Nest(spans)
+	var total int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		total++
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	if total != len(spans) {
+		t.Errorf("Nest lost spans: forest holds %d of %d", total, len(spans))
+	}
+	for i := 1; i < len(roots); i++ {
+		if roots[i-1].Seq > roots[i].Seq {
+			t.Errorf("roots out of Seq order at %d", i)
+		}
+	}
+}
+
+// TestTraceErrSpans: a faulting call serializes its error message and
+// survives the round trip.
+func TestTraceErrSpans(t *testing.T) {
+	m := ownedMachine(t)
+	c := Attach(m)
+	tr := c.Trace(16)
+	m.PreCall = func(fname string) error {
+		if fname == "net_send" {
+			return &testErr{}
+		}
+		return nil
+	}
+	if _, err := m.Run("app_main", 1); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withErr int
+	for _, sp := range spans {
+		if sp.Err != "" {
+			withErr++
+			if sp.Err != "boom" {
+				t.Errorf("span %s err = %q, want boom", sp.Fn, sp.Err)
+			}
+		}
+	}
+	if withErr != 3 {
+		t.Errorf("%d spans carry the error, want 3 (every propagating frame)", withErr)
+	}
+}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "boom" }
+
+// TestReadSpansRejectsGarbage: a malformed line reports its line number.
+func TestReadSpansRejectsGarbage(t *testing.T) {
+	in := `{"seq":0,"depth":0,"fn":"a","start":0,"cycles":1}` + "\n\nnot json\n"
+	_, err := ReadSpans(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line-3 parse error", err)
+	}
+}

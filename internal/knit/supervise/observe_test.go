@@ -1,0 +1,114 @@
+package supervise
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/knit/build/faultinject"
+	"knit/internal/knit/observe"
+	"knit/internal/machine"
+)
+
+// TestObserveEndToEnd drives the restart -> restart -> swap ladder with
+// a collector wired in and checks that every event lands on the right
+// instance ledger and that Report embeds the metrics.
+func TestObserveEndToEnd(t *testing.T) {
+	res, m := buildSup(t)
+	c := observe.Attach(m)
+	in := faultinject.Attach(m)
+	defer in.Detach()
+
+	instB := instOf(t, res, "B")
+	bGet := instB.ExportSyms["b"]["get"]
+	in.TrapCallEvery(bGet, 1)
+
+	sup := New(res, m, Default(), NewFakeClock())
+	sup.Observe(c)
+	if sup.Collector() != c {
+		t.Fatal("Collector() does not return the wired collector")
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := sup.Call("c", "get"); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	if _, err := sup.Call("c", "get"); err != nil {
+		t.Fatalf("call after swap: %v", err)
+	}
+
+	bm := c.Snapshot(instB.Path)
+	if bm == nil {
+		t.Fatalf("no metrics for %s", instB.Path)
+	}
+	if bm.Restarts != 2 {
+		t.Errorf("B restarts = %d, want 2", bm.Restarts)
+	}
+	if bm.Swaps != 1 {
+		t.Errorf("B swaps = %d, want 1", bm.Swaps)
+	}
+	// Each restart re-runs B's initializer (the boot-time RunInit predates
+	// the collector, so it is not in the ledger).
+	if bm.Inits != 2 {
+		t.Errorf("B inits = %d, want 2 (one per restart)", bm.Inits)
+	}
+	// The injected faults are attributed to B, under their own kind.
+	if bm.Traps[machine.TrapInjected] != 3 {
+		t.Errorf("B injected traps = %d, want 3", bm.Traps[machine.TrapInjected])
+	}
+
+	// Report rows embed the per-instance ledgers.
+	row := statusOf(t, sup, instB.Path)
+	if row.Metrics == nil || row.Metrics.Restarts != 2 || row.Metrics.Swaps != 1 {
+		t.Errorf("report row metrics = %+v, want restarts=2 swaps=1", row.Metrics)
+	}
+
+	// The successful post-swap call ran the fallback module's code; its
+	// ledger path names the BSafe module and carries the call.
+	rep := c.Report()
+	var sawFallback bool
+	for i := range rep.Instances {
+		im := &rep.Instances[i]
+		if strings.Contains(im.Path, "BSafe") {
+			sawFallback = true
+			if im.Calls == 0 {
+				t.Errorf("fallback ledger %s has no calls", im.Path)
+			}
+			if im.Inits == 0 {
+				t.Errorf("fallback ledger %s has no init steps", im.Path)
+			}
+		}
+	}
+	if !sawFallback {
+		t.Errorf("no fallback-module ledger in report: %+v", rep.Instances)
+	}
+
+	sup.Observe(nil)
+	if row := statusOf(t, sup, instB.Path); row.Metrics != nil {
+		t.Error("Observe(nil) still embeds metrics")
+	}
+}
+
+// TestSupervisedCallZeroAllocs: the supervised no-fault call path —
+// watchdog fuel arming, the machine run, interposition lookups, and the
+// attached collector — must not allocate per call. This is the property
+// the <5% observe-overhead budget rests on.
+func TestSupervisedCallZeroAllocs(t *testing.T) {
+	res, m := buildSup(t)
+	c := observe.Attach(m)
+	sup := New(res, m, Default(), NewFakeClock())
+	sup.Observe(c)
+	global, err := res.Export("c", "get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := sup.CallGlobal(global); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm arenas and ledgers
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Errorf("supervised call path: %.1f allocs/op, want 0", n)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
+	"knit/internal/knit/observe"
 	"knit/internal/machine"
 )
 
@@ -76,6 +77,10 @@ type InstanceStatus struct {
 	// instance is degraded.
 	ActiveModule string
 	LastError    string
+	// Metrics is the instance's runtime ledger (calls, cycles, traps by
+	// kind, lifecycle counters) when a Collector is attached via Observe;
+	// nil otherwise, and nil for instances the collector never saw.
+	Metrics *observe.InstanceMetrics
 }
 
 // Event is one entry of the supervisor's decision log. The log is
@@ -108,6 +113,7 @@ type Supervisor struct {
 	alias  map[string]*instState // fault attribution name -> state
 	events []Event
 	recov  []RecoveryRecord
+	obs    *observe.Collector
 }
 
 // instState is the supervisor's book on one unit instance.
@@ -146,6 +152,23 @@ func New(res *build.Result, m *machine.M, pol *Policy, clk Clock) *Supervisor {
 		alias:  map[string]*instState{},
 	}
 }
+
+// Observe wires a metrics collector into the supervised system: the
+// collector (already attached to the supervisor's machine) starts
+// receiving the build layer's lifecycle events — init/fini steps,
+// restarts, fallback swaps, unloads — and Report embeds each instance's
+// ledger in its row. Pass nil to disconnect.
+func (s *Supervisor) Observe(c *observe.Collector) {
+	s.obs = c
+	if c == nil {
+		s.res.SetObserver(s.m, nil)
+		return
+	}
+	s.res.SetObserver(s.m, c)
+}
+
+// Collector returns the observe collector wired in via Observe, or nil.
+func (s *Supervisor) Collector() *observe.Collector { return s.obs }
 
 // Call runs one exported function under supervision: the watchdog fuel
 // budget is armed, and any failure is attributed and handled per
@@ -224,6 +247,9 @@ func (s *Supervisor) Report() []InstanceStatus {
 			if st.lastErr != nil {
 				row.LastError = st.lastErr.Error()
 			}
+		}
+		if s.obs != nil {
+			row.Metrics = s.obs.Snapshot(inst.Path)
 		}
 		out = append(out, row)
 	}

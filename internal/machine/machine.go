@@ -234,6 +234,12 @@ const (
 	numTrapKinds
 )
 
+// NumTrapKinds is the number of defined trap kinds. Per-kind tables
+// (e.g. the observability layer's trap counters) size themselves with
+// it so adding a kind without extending them is a compile- or
+// test-time error, not a silent miscount.
+const NumTrapKinds = int(numTrapKinds)
+
 // trapKindNames is indexed by TrapKind. Sizing the array with
 // numTrapKinds means adding a kind without naming it leaves a hole the
 // exhaustiveness test (TestTrapKindStringExhaustive) catches.
@@ -313,6 +319,14 @@ type M struct {
 	// injection — returning a *Trap keeps unit attribution working — and
 	// must not carry program semantics. The hook is skipped for builtins.
 	PreCall func(fn string) error
+	// PostCall, when non-nil, is invoked after every simulated function
+	// call completes (direct, indirect, and Run entries alike; builtins
+	// are charged to their caller and do not fire it). The observability
+	// layer (internal/knit/observe) rides on it to attribute calls,
+	// cycles, and traps to unit instances. When nil the cost is a single
+	// predictable branch per call; the hook must not run simulated code
+	// on m.
+	PostCall func(CallInfo)
 
 	sp         int64
 	stackLimit int64   // frames may not grow past this (dynamic data follows)
@@ -322,6 +336,33 @@ type M struct {
 	fuelEnd    int64             // absolute Executed bound for the current Run (0 = none)
 	dyn        *dynState         // dynamically loaded modules (nil until used)
 	redirect   map[string]string // interposed function symbols (nil until used)
+	// regStack and argStack are per-call frame pools: every call's
+	// virtual registers and outgoing argument vector are slices of these
+	// LIFO arenas rather than fresh allocations, so the no-fault call
+	// path performs zero heap allocations. MaxCallDepth bounds their
+	// growth; stale backing arrays left behind by a mid-call grow are
+	// harmless because each frame only ever touches its own slice.
+	regStack []int64
+	regTop   int
+	argStack []int64
+	argTop   int
+}
+
+// CallInfo describes one completed simulated function call, as passed
+// to the PostCall hook. It carries no pointers into the machine, so a
+// hook may retain it freely.
+type CallInfo struct {
+	Fn    string // program-unique (renamed) function name
+	Depth int    // nesting depth at entry: 0 for a top-level Run
+	Start int64  // M.Cycles when the call began
+	// Cycles is the cycles-of-fuel the call consumed, callees included
+	// (an exclusive figure is Cycles minus the callees' CallInfo.Cycles,
+	// which nest strictly inside this one).
+	Cycles int64
+	// Err is the call's error. A trap propagates unchanged through every
+	// enclosing frame, so the innermost erroring CallInfo is the first
+	// one carrying a given error value.
+	Err error
 }
 
 // MaxCallDepth bounds simulated recursion.
@@ -359,6 +400,7 @@ func (m *M) Reset() {
 	m.redirect = nil
 	m.depth = 0
 	m.fuelEnd = 0
+	m.regTop, m.argTop = 0, 0 // arenas keep their capacity across resets
 }
 
 // RegisterBuiltin installs a host function under the given symbol name.
@@ -433,7 +475,36 @@ func (m *M) fetch(textOff int64) {
 	m.prevLine = line
 }
 
+// call runs one simulated function body via exec, firing the PostCall
+// hook (when installed) with the call's frame identity, fuel delta, and
+// outcome. The disabled path is a single nil check so that detached
+// observability costs nothing measurable.
 func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
+	if m.PostCall == nil {
+		return m.exec(fn, args)
+	}
+	depth := m.depth
+	start := m.Cycles
+	v, err := m.exec(fn, args)
+	m.PostCall(CallInfo{Fn: fn.Name, Depth: depth, Start: start, Cycles: m.Cycles - start, Err: err})
+	return v, err
+}
+
+// growArena extends a frame arena to at least need words. Growth
+// abandons the old backing array; live parent frames keep their slices
+// of it, which stays correct because a frame is the only reader and
+// writer of its own registers.
+func growArena(s []int64, need int) []int64 {
+	n := 2 * need
+	if n < 256 {
+		n = 256
+	}
+	ns := make([]int64, n)
+	copy(ns, s)
+	return ns
+}
+
+func (m *M) exec(fn *obj.Func, args []int64) (int64, error) {
 	if m.depth >= MaxCallDepth {
 		return 0, &Trap{Kind: TrapStackOverflow, Msg: "call stack overflow", Func: fn.Name}
 	}
@@ -446,10 +517,21 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 		return 0, &Trap{Msg: fmt.Sprintf("called with %d args, want %d", len(args), fn.NArgs), Func: fn.Name}
 	}
 	m.depth++
-	defer func() { m.depth-- }()
+	rbase := m.regTop
+	defer func() { m.depth--; m.regTop = rbase }()
 
-	regs := make([]int64, fn.NRegs)
+	// The frame's virtual registers come from the LIFO register arena:
+	// no per-call allocation, at the price of explicit zeroing (the
+	// arena holds stale values from earlier frames).
+	if rbase+fn.NRegs > len(m.regStack) {
+		m.regStack = growArena(m.regStack, rbase+fn.NRegs)
+	}
+	regs := m.regStack[rbase : rbase+fn.NRegs : rbase+fn.NRegs]
+	m.regTop = rbase + fn.NRegs
 	copy(regs, args)
+	for i := len(args); i < len(regs); i++ {
+		regs[i] = 0
+	}
 	fp := m.sp
 	if fp+int64(fn.Frame) > m.stackLimit {
 		return 0, &Trap{Kind: TrapStackOverflow, Msg: "simulated stack overflow", Func: fn.Name}
@@ -546,11 +628,9 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 			m.IndCalls++
 			m.Cycles += m.Costs.CallBase + m.Costs.Indirect +
 				m.Costs.CallPerArg*int64(len(in.Args))
-			argv := make([]int64, len(in.Args))
-			for i, r := range in.Args {
-				argv[i] = regs[r]
-			}
+			argv, abase := m.pushArgs(regs, in.Args)
 			v, err := m.call(callee, argv)
+			m.argTop = abase
 			if err != nil {
 				return 0, err
 			}
@@ -584,10 +664,8 @@ func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
 // callers.
 func (m *M) dispatch(sym string, regs []int64, argRegs []obj.Reg, fn *obj.Func, pc int) (int64, error) {
 	sym = m.interposed(sym)
-	argv := make([]int64, len(argRegs))
-	for i, r := range argRegs {
-		argv[i] = regs[r]
-	}
+	argv, abase := m.pushArgs(regs, argRegs)
+	defer func() { m.argTop = abase }()
 	if callee, ok := m.Img.Entry[sym]; ok {
 		m.Calls++
 		m.Cycles += m.Costs.CallBase + m.Costs.CallPerArg*int64(len(argv))
@@ -604,6 +682,24 @@ func (m *M) dispatch(sym string, regs []int64, argRegs []obj.Reg, fn *obj.Func, 
 		return b(m, argv)
 	}
 	return 0, &Trap{Kind: TrapUndefinedCall, Msg: "call to undefined function " + sym, Func: fn.Name, PC: pc}
+}
+
+// pushArgs gathers an outgoing argument vector from the caller's
+// registers into the LIFO argument arena, returning the vector and the
+// arena watermark the caller must restore once the callee returns. Like
+// the register arena, this keeps the per-call path allocation-free; a
+// builtin must not retain its argument slice past its own return.
+func (m *M) pushArgs(regs []int64, argRegs []obj.Reg) (argv []int64, base int) {
+	base = m.argTop
+	if base+len(argRegs) > len(m.argStack) {
+		m.argStack = growArena(m.argStack, base+len(argRegs))
+	}
+	argv = m.argStack[base : base+len(argRegs) : base+len(argRegs)]
+	m.argTop = base + len(argRegs)
+	for i, r := range argRegs {
+		argv[i] = regs[r]
+	}
+	return argv, base
 }
 
 func (m *M) load(addr int64, fn *obj.Func, pc int) (int64, error) {

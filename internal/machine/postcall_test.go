@@ -1,0 +1,195 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"knit/internal/cmini"
+	"knit/internal/obj"
+)
+
+// nestedProgram builds outer -> middle -> inner, where inner adds one
+// to its argument and each level passes the value through.
+func nestedProgram() *obj.File {
+	inner := buildFunc("inner", 1, 2, 0, []obj.Instr{
+		{Op: obj.OpConst, Dst: 1, Imm: 1},
+		{Op: obj.OpBin, Dst: 1, A: 0, B: 1, Tok: int(cmini.PLUS)},
+		{Op: obj.OpRet, A: 1, HasVal: true},
+	})
+	middle := buildFunc("middle", 1, 2, 0, []obj.Instr{
+		{Op: obj.OpCall, Dst: 1, Sym: "inner", Args: []obj.Reg{0}},
+		{Op: obj.OpRet, A: 1, HasVal: true},
+	})
+	outer := buildFunc("outer", 1, 2, 0, []obj.Instr{
+		{Op: obj.OpCall, Dst: 1, Sym: "middle", Args: []obj.Reg{0}},
+		{Op: obj.OpRet, A: 1, HasVal: true},
+	})
+	return fileWith(inner, middle, outer)
+}
+
+// TestPostCallSequence pins down the hook's contract: completion
+// (post-) order, entry depths, and strictly nested cycle intervals.
+func TestPostCallSequence(t *testing.T) {
+	m := loadFile(t, nestedProgram())
+	var got []CallInfo
+	m.PostCall = func(ci CallInfo) { got = append(got, ci) }
+
+	v, err := m.Run("outer", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("outer(41) = %d, want 42", v)
+	}
+	wantFns := []string{"inner", "middle", "outer"}
+	wantDepths := []int{2, 1, 0}
+	if len(got) != len(wantFns) {
+		t.Fatalf("got %d CallInfos, want %d: %+v", len(got), len(wantFns), got)
+	}
+	for i, ci := range got {
+		if ci.Fn != wantFns[i] || ci.Depth != wantDepths[i] {
+			t.Errorf("call %d = %s@%d, want %s@%d", i, ci.Fn, ci.Depth, wantFns[i], wantDepths[i])
+		}
+		if ci.Err != nil {
+			t.Errorf("call %d: unexpected err %v", i, ci.Err)
+		}
+	}
+	// Each callee's [Start, Start+Cycles] interval nests inside its
+	// caller's, and the caller consumed strictly more fuel.
+	for i := 0; i+1 < len(got); i++ {
+		in, out := got[i], got[i+1]
+		if in.Start < out.Start || in.Start+in.Cycles > out.Start+out.Cycles {
+			t.Errorf("interval %s [%d,+%d] not inside %s [%d,+%d]",
+				in.Fn, in.Start, in.Cycles, out.Fn, out.Start, out.Cycles)
+		}
+		if in.Cycles >= out.Cycles {
+			t.Errorf("%s consumed %d cycles, caller %s only %d", in.Fn, in.Cycles, out.Fn, out.Cycles)
+		}
+	}
+}
+
+// TestPostCallTrapPropagation: a trap raised in the innermost frame is
+// delivered to the hook at every level as the same error value, so an
+// observer can count it exactly once.
+func TestPostCallTrapPropagation(t *testing.T) {
+	inner := buildFunc("inner", 0, 1, 0, []obj.Instr{
+		{Op: obj.OpConst, Dst: 0, Imm: 3},
+		{Op: obj.OpLoad, Dst: 0, A: 0}, // address 3 is inside the NULL guard
+	})
+	outer := buildFunc("outer", 0, 1, 0, []obj.Instr{
+		{Op: obj.OpCall, Dst: 0, Sym: "inner"},
+		{Op: obj.OpRet, A: 0, HasVal: true},
+	})
+	m := loadFile(t, fileWith(inner, outer))
+	var errs []error
+	m.PostCall = func(ci CallInfo) { errs = append(errs, ci.Err) }
+	_, err := m.Run("outer")
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapBadAddress {
+		t.Fatalf("err = %v, want bad-address trap", err)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(errs))
+	}
+	if errs[0] != err || errs[1] != err {
+		t.Errorf("propagated errors differ: %v / %v vs %v", errs[0], errs[1], err)
+	}
+}
+
+// TestPostCallSkipsBuiltins: builtins are charged to the caller and do
+// not fire the hook.
+func TestPostCallSkipsBuiltins(t *testing.T) {
+	f := buildFunc("f", 0, 1, 0, []obj.Instr{
+		{Op: obj.OpCall, Dst: 0, Sym: "__dev"},
+		{Op: obj.OpRet, A: 0, HasVal: true},
+	})
+	m := loadFile(t, fileWith(f))
+	m.RegisterBuiltin("__dev", func(_ *M, _ []int64) (int64, error) { return 7, nil })
+	var fns []string
+	m.PostCall = func(ci CallInfo) { fns = append(fns, ci.Fn) }
+	v, err := m.Run("f")
+	if err != nil || v != 7 {
+		t.Fatalf("f() = %d, %v", v, err)
+	}
+	if len(fns) != 1 || fns[0] != "f" {
+		t.Errorf("hook saw %v, want just [f]", fns)
+	}
+}
+
+// TestCallPathZeroAllocs: the no-fault call path must not allocate —
+// neither bare, nor with an interposition redirect installed, nor with
+// a (non-allocating) PostCall hook attached. This is the property the
+// supervision and observability layers rely on to stay off the heap on
+// every supervised router call.
+func TestCallPathZeroAllocs(t *testing.T) {
+	m := loadFile(t, nestedProgram())
+	run := func() {
+		if _, err := m.Run("outer", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the frame arenas
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Errorf("bare call path: %.1f allocs/op, want 0", n)
+	}
+
+	// Redirect middle -> inner (skip a hop): the redirect table is now
+	// consulted on every dispatch.
+	if err := m.Interpose("middle", "inner"); err != nil {
+		t.Fatal(err)
+	}
+	run()
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Errorf("interposed call path: %.1f allocs/op, want 0", n)
+	}
+	m.Unpose("middle")
+
+	var calls, cycles int64
+	m.PostCall = func(ci CallInfo) {
+		if ci.Depth == 0 {
+			calls++
+			cycles += ci.Cycles
+		}
+	}
+	run()
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Errorf("hooked call path: %.1f allocs/op, want 0", n)
+	}
+	if calls == 0 || cycles == 0 {
+		t.Error("hook never saw a top-level call")
+	}
+}
+
+// BenchmarkCallPostCallNil measures the per-call cost of the detached
+// hook (the nil-check fast path) — compare with
+// BenchmarkCallPostCallAttached for the instrumentation overhead.
+func BenchmarkCallPostCallNil(b *testing.B) {
+	benchCalls(b, false)
+}
+
+func BenchmarkCallPostCallAttached(b *testing.B) {
+	benchCalls(b, true)
+}
+
+func benchCalls(b *testing.B, hook bool) {
+	img, err := Load(nestedProgram(), DefaultCosts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(img)
+	var sink int64
+	if hook {
+		m.PostCall = func(ci CallInfo) { sink += ci.Cycles }
+	}
+	if _, err := m.Run("outer", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run("outer", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
