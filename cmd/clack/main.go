@@ -32,8 +32,14 @@ func main() {
 		faultEvery = flag.Int("fault-every", 0, "with -supervise, kill a classifier element every N packets")
 		soak       = flag.Duration("soak", 0, "with -supervise, repeat serving runs for this long and check for goroutine leaks")
 		metrics    = flag.Bool("metrics", false, "with -supervise, print the per-instance observability report (each soak run dumps periodically)")
+		shards     = flag.Int("shards", 0, "serve through a fleet of N shards behind the flow-hash balancer (0 = single machine)")
 	)
 	flag.Parse()
+
+	if *shards > 0 {
+		runFleet(*shards, *packets, *faultEvery, *metrics)
+		return
+	}
 
 	if *supFlag {
 		runSupervised(*packets, *faultEvery, *soak, *metrics)
@@ -128,6 +134,36 @@ func runSupervised(packets, faultEvery int, soak time.Duration, metrics bool) {
 	if soak > 0 {
 		fmt.Printf("clack soak: %d runs in %v, %d faults handled, goroutines stable at %d\n",
 			runs, soak, totalFaults, runtime.NumGoroutine())
+	}
+}
+
+// runFleet serves the standard router through N shards sharing one
+// image: flow-hashed placement, per-shard supervisors, merged metrics.
+// With -fault-every, shard 0's classifier is killed every N packets and
+// the report shows the blast radius staying inside that shard.
+func runFleet(shards, packets, faultEvery int, metrics bool) {
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	clk := func(int) supervise.Clock { return supervise.Wall() }
+	rep, err := clack.ServeFleet(res, clack.DefaultFlowTraffic(packets), shards,
+		supervise.Default(), clk, faultEvery)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("clack fleet: %d shards, %d packets, goodput %.4f, %d order violations\n",
+		rep.Shards, rep.Rx, rep.Goodput, rep.OrderViolations)
+	for id, st := range rep.PerShard {
+		fmt.Printf("  shard %d: rx %d, tx %d, dropped %d, faults %d, restarts %d, swaps %d, respawns %d\n",
+			id, st.Rx, st.Tx, st.Dropped, st.Faults, st.Restarts, st.Swaps, st.Respawns)
+	}
+	if !rep.Converged {
+		fail(fmt.Errorf("fleet did not converge"))
+	}
+	if metrics && rep.Metrics != nil {
+		fmt.Println("clack fleet metrics (all shards merged):")
+		rep.Metrics.Format(os.Stdout)
 	}
 }
 

@@ -47,6 +47,83 @@ type BuildTimeBench struct {
 	CalibNs        int64   `json:"calib_ns"`
 }
 
+// FleetBench is BENCH_fleet.json: the sharded-serving scaling curve.
+// Packets-per-second figures are wall-clock (gate-compared in
+// calibration units); ScalingEfficiency is pps at 4 shards over 4x the
+// single-shard pps, so 1.0 is linear scaling. Efficiency depends on the
+// host's core count — GoMaxProcs records what the baseline had — and
+// the gate treats the committed value as a floor: a machine with more
+// cores only beats it.
+type FleetBench struct {
+	Bench             string  `json:"bench"`
+	Packets           int     `json:"packets"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
+	PPS1              float64 `json:"pps_1shard"`
+	PPS2              float64 `json:"pps_2shards"`
+	PPS4              float64 `json:"pps_4shards"`
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
+	CalibNs           int64   `json:"calib_ns"`
+}
+
+// measureFleet benchmarks sharded serving at 1, 2, and 4 shards over
+// the same flow traffic (fastest of benchRounds each), asserting on
+// every run the properties the fleet exists to provide: full packet
+// accounting and zero per-flow order violations.
+func measureFleet(packets int) *FleetBench {
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	spec := clack.DefaultFlowTraffic(packets)
+	pps := map[int]float64{}
+	for _, shards := range []int{1, 2, 4} {
+		best := time.Duration(1) << 62
+		for r := 0; r < benchRounds; r++ {
+			start := time.Now()
+			rep, err := clack.ServeFleet(res, spec, shards, nil, nil, 0)
+			if err != nil {
+				fail(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if rep.Goodput != 1.0 || rep.OrderViolations != 0 || !rep.Converged {
+				fail(fmt.Errorf("fleet bench %d shards: goodput %.4f, %d order violations, converged=%v",
+					shards, rep.Goodput, rep.OrderViolations, rep.Converged))
+			}
+		}
+		pps[shards] = float64(packets) / best.Seconds()
+	}
+	return &FleetBench{
+		Bench:             "fleet",
+		Packets:           packets,
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		PPS1:              pps[1],
+		PPS2:              pps[2],
+		PPS4:              pps[4],
+		ScalingEfficiency: pps[4] / (4 * pps[1]),
+		CalibNs:           calibrate(),
+	}
+}
+
+// runFleetBench is knitbench -fleet: print the pps-vs-shards scaling
+// curve for the current host.
+func runFleetBench(packets int) {
+	fmt.Println("== Fleet scaling: sharded router serving, one shared image ==")
+	fb := measureFleet(packets)
+	fmt.Printf("   %d packets, GOMAXPROCS %d, host calib %v\n",
+		fb.Packets, fb.GoMaxProcs, time.Duration(fb.CalibNs))
+	for _, p := range []struct {
+		shards int
+		pps    float64
+	}{{1, fb.PPS1}, {2, fb.PPS2}, {4, fb.PPS4}} {
+		fmt.Printf("   %d shards: %9.0f packets/sec  (x%.2f vs 1 shard)\n",
+			p.shards, p.pps, p.pps/fb.PPS1)
+	}
+	fmt.Printf("   scaling efficiency at 4 shards: %.2f (1.0 = linear; needs >= 4 cores to approach it)\n\n",
+		fb.ScalingEfficiency)
+}
+
 // calibrate times a fixed xorshift loop — a pure-CPU workload that does
 // not touch this repository's code — taking the fastest of three runs.
 // The gate divides wall metrics by it to factor out machine speed.
@@ -196,15 +273,18 @@ func runJSON(outDir string, packets int) {
 	}
 	rb := measureRouter(packets)
 	bb := measureBuildTime()
+	fb := measureFleet(packets)
 	writeBench(filepath.Join(outDir, "BENCH_router.json"), rb)
 	writeBench(filepath.Join(outDir, "BENCH_buildtime.json"), bb)
-	fmt.Printf("knitbench: wrote %s and %s\n",
-		filepath.Join(outDir, "BENCH_router.json"), filepath.Join(outDir, "BENCH_buildtime.json"))
+	writeBench(filepath.Join(outDir, "BENCH_fleet.json"), fb)
+	fmt.Printf("knitbench: wrote BENCH_router.json, BENCH_buildtime.json, BENCH_fleet.json in %s\n", outDir)
 	fmt.Printf("  router: %.0f cycles/packet, %.0f packets/sec, observe overhead %+.2f%%\n",
 		rb.CyclesPerPacket, rb.PacketsPerSec, rb.ObserveOverheadPct)
 	fmt.Printf("  buildtime: cold %v, warm %v (%.1f%% of cold), parallel %v, cache %d/%d\n",
 		time.Duration(bb.ColdNs), time.Duration(bb.WarmNs), 100*bb.WarmFracOfCold,
 		time.Duration(bb.ParallelNs), bb.CacheHits, bb.CompileJobs)
+	fmt.Printf("  fleet: %.0f pps @1 shard, %.0f @2, %.0f @4 (efficiency %.2f, GOMAXPROCS %d)\n",
+		fb.PPS1, fb.PPS2, fb.PPS4, fb.ScalingEfficiency, fb.GoMaxProcs)
 }
 
 func writeBench(path string, v any) {
@@ -237,8 +317,10 @@ func readBench[T any](path string) *T {
 func runGate(baseDir string, tol float64, packets int) {
 	baseR := readBench[RouterBench](filepath.Join(baseDir, "BENCH_router.json"))
 	baseB := readBench[BuildTimeBench](filepath.Join(baseDir, "BENCH_buildtime.json"))
+	baseF := readBench[FleetBench](filepath.Join(baseDir, "BENCH_fleet.json"))
 	rb := measureRouter(packets)
 	bb := measureBuildTime()
+	fb := measureFleet(packets)
 
 	var failures []string
 	check := func(name string, current, baseline float64, lowerIsBetter bool) {
@@ -274,6 +356,16 @@ func runGate(baseDir string, tol float64, packets int) {
 		float64(bb.WarmNs)/float64(bb.CalibNs), float64(baseB.WarmNs)/float64(baseB.CalibNs), true)
 	check("cold build (calib units)",
 		float64(bb.ColdNs)/float64(bb.CalibNs), float64(baseB.ColdNs)/float64(baseB.CalibNs), true)
+	// Fleet throughput in calibration units, like the router's. The
+	// efficiency check is a floor: the committed baseline records its
+	// GOMAXPROCS, and any host with at least that many cores should meet
+	// it — a drop beyond tolerance means the sharding machinery itself
+	// regressed (lock contention, lost batching), not the host.
+	check("fleet pps@1 shard (calib)",
+		fb.PPS1*float64(fb.CalibNs)/1e9, baseF.PPS1*float64(baseF.CalibNs)/1e9, false)
+	check("fleet pps@4 shards (calib)",
+		fb.PPS4*float64(fb.CalibNs)/1e9, baseF.PPS4*float64(baseF.CalibNs)/1e9, false)
+	check("fleet scaling efficiency", fb.ScalingEfficiency, baseF.ScalingEfficiency, false)
 
 	if len(failures) > 0 {
 		fail(fmt.Errorf("bench gate: regression in %v", failures))

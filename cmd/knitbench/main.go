@@ -39,6 +39,7 @@ func main() {
 		ablations = flag.Bool("ablations", false, "mechanism ablations for the Table 1 result")
 		recovery  = flag.Bool("recovery", false, "fault-to-restored-service latency, restart vs fallback swap")
 		observeF  = flag.Bool("observe", false, "observability overhead: clack router with a metrics collector attached vs not")
+		fleetF    = flag.Bool("fleet", false, "sharded serving scaling curve: pps at 1, 2, and 4 shards")
 		jsonOut   = flag.Bool("json", false, "write BENCH_router.json and BENCH_buildtime.json (see -out) and exit")
 		outDir    = flag.String("out", ".", "with -json, output directory for the BENCH_*.json files")
 		gateDir   = flag.String("gate", "", "compare fresh measurements against the BENCH_*.json baselines in this directory and fail on regression")
@@ -57,6 +58,10 @@ func main() {
 	}
 	if *observeF {
 		runObserve(*packets)
+		return
+	}
+	if *fleetF {
+		runFleetBench(*packets)
 		return
 	}
 	all := !(*table1 || *table2 || *micro || *census || *buildtime || *fig1c || *ablations || *recovery)

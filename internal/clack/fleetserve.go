@@ -1,0 +1,342 @@
+package clack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/build/faultinject"
+	"knit/internal/knit/fleet"
+	"knit/internal/knit/observe"
+	"knit/internal/knit/supervise"
+	"knit/internal/machine"
+)
+
+// This file is the sharded serving mode: one built router image, N
+// machine+supervisor+collector shards behind the fleet's flow-hash
+// balancer. Each shard owns a private pair of simulated NICs; a flow is
+// pinned to one shard (fleet.FlowShard) and to one ingress device
+// within it (fleet.FlowLane), so a flow's packets traverse exactly one
+// machine in arrival order. The router graph is all-push — a packet
+// runs to completion before the next is polled — which makes per-flow
+// transmit order equal per-flow arrival order; the __tx builtin checks
+// that invariant on every transmitted packet via per-flow sequence
+// numbers the generator stamps into the payload (payload words ride
+// through every element untouched).
+
+// FlowSpec describes flow-structured traffic: spec.Flows distinct flow
+// keys with Zipf(Skew) popularity, each flow owning a fixed
+// (src, dst) pair — so its route is stable — and carrying per-flow
+// sequence numbers. The slow-path mix mirrors TrafficSpec.
+type FlowSpec struct {
+	Packets     int
+	Flows       int     // distinct flow keys (>= 1)
+	Skew        float64 // Zipf s parameter (> 1); 0 means uniform flows
+	ARPEvery    int     // every n-th packet is an ARP request (0 = none)
+	OtherEvery  int     // every n-th packet is unclassifiable
+	BadSumEvery int     // every n-th packet has a corrupt checksum
+	LowTTLEvery int     // every n-th packet arrives with TTL 1
+	Seed        int64
+}
+
+// DefaultFlowTraffic is DefaultTraffic's flow-structured sibling: the
+// same slow-path mix over 256 flows with a mild Zipf skew.
+func DefaultFlowTraffic(n int) FlowSpec {
+	return FlowSpec{Packets: n, Flows: 256, Skew: 1.05, ARPEvery: 10,
+		OtherEvery: 37, BadSumEvery: 41, LowTTLEvery: 43, Seed: 1}
+}
+
+// FlowPacket is one generated packet tagged with its flow key.
+type FlowPacket struct {
+	Flow uint64
+	Pkt  Packet
+}
+
+// Payload word roles for flow traffic. The router never writes payload
+// words, so both survive to the transmit ring on every path (the ARP
+// responder swaps src/dst, which is why the flow identity rides in the
+// payload instead).
+const (
+	payloadFlowWord = 6 // Payload[6]: flow key
+	payloadSeqWord  = 7 // Payload[7]: per-flow sequence, from 1
+)
+
+// Generate builds the packet stream. Deterministic for a given spec:
+// same flows, same sequence numbers, same mix.
+func (spec FlowSpec) Generate() []FlowPacket {
+	r := rand.New(rand.NewSource(spec.Seed))
+	flows := spec.Flows
+	if flows < 1 {
+		flows = 1
+	}
+	var zipf *rand.Zipf
+	if spec.Skew > 1 {
+		zipf = rand.NewZipf(r, spec.Skew, 1, uint64(flows-1))
+	}
+	// Per-flow constants: src identifies the flow on the wire; dst picks
+	// a stable route (networks 10/20/30/77 as in TrafficSpec.Generate).
+	nets := []int64{10, 20, 30, 77}
+	seq := make([]int64, flows)
+	every := func(n, i int) bool { return n > 0 && i%n == n-1 }
+	out := make([]FlowPacket, 0, spec.Packets)
+	for i := 0; i < spec.Packets; i++ {
+		var flow uint64
+		if zipf != nil {
+			flow = zipf.Uint64()
+		} else {
+			flow = uint64(r.Intn(flows))
+		}
+		seq[flow]++
+		var p Packet
+		p.TTL = int64(4 + r.Intn(60))
+		p.Src = 1 + int64(flow)
+		p.Dst = nets[flow%uint64(len(nets))]*256 + int64(flow%256)
+		for j := range p.Payload {
+			p.Payload[j] = int64(r.Intn(1 << 15))
+		}
+		p.Payload[payloadFlowWord] = int64(flow)
+		p.Payload[payloadSeqWord] = seq[flow]
+		p.Checksum = fold(p.TTL, p.Dst, p.Payload)
+		switch {
+		case every(spec.ARPEvery, i):
+			p.Kind = KindARP
+		case every(spec.OtherEvery, i):
+			p.Kind = KindOther
+		case every(spec.BadSumEvery, i):
+			p.Kind = KindIP
+			p.Checksum ^= 0x5a5a
+		case every(spec.LowTTLEvery, i):
+			p.Kind = KindIP
+			p.TTL = 1
+		default:
+			p.Kind = KindIP
+		}
+		out = append(out, FlowPacket{Flow: flow, Pkt: p})
+	}
+	return out
+}
+
+// shardIO is one shard's host-side NIC state: the ingress queues its
+// handler fills, the device statistics, and the per-flow order check.
+// It lives and dies with one machine boot; ServeFleet folds retired
+// generations into per-shard totals at respawn.
+type shardIO struct {
+	rx    [2][]Packet
+	head  [2]int
+	stats DeviceStats
+	// lastSeq tracks the highest sequence transmitted per flow; a
+	// transmit at or below it is an ordering violation.
+	lastSeq         map[int64]int64
+	orderViolations int
+	faults          int
+	calls           int
+}
+
+func (io *shardIO) remaining() int {
+	return (len(io.rx[0]) - io.head[0]) + (len(io.rx[1]) - io.head[1])
+}
+
+// installShardDevices mirrors InstallDevices but reads from refillable
+// per-shard queues and verifies per-flow transmit order.
+func installShardDevices(m *machine.M, io *shardIO) {
+	bufAddr := func(dev int64) int64 {
+		return int64(len(m.Mem)) - (dev+1)*PktWords
+	}
+	m.RegisterBuiltin("__rx_poll", func(mm *machine.M, args []int64) (int64, error) {
+		dev := args[0]
+		if dev < 0 || dev > 1 {
+			return 0, fmt.Errorf("clack: rx on bad device %d", dev)
+		}
+		if io.head[dev] >= len(io.rx[dev]) {
+			return 0, nil
+		}
+		p := io.rx[dev][io.head[dev]]
+		io.head[dev]++
+		io.stats.Rx[dev]++
+		addr := bufAddr(dev)
+		if err := mm.WriteWords(addr, p.words()); err != nil {
+			return 0, err
+		}
+		return addr, nil
+	})
+	m.RegisterBuiltin("__tx", func(mm *machine.M, args []int64) (int64, error) {
+		dev, addr := args[0], args[1]
+		if dev < 0 || dev > 1 {
+			return 0, fmt.Errorf("clack: tx on bad device %d", dev)
+		}
+		io.stats.Tx[dev]++
+		kind := mm.Mem[addr]
+		ttl := mm.Mem[addr+1]
+		if kind == KindIP {
+			if ttl <= 0 {
+				io.stats.TxBad = append(io.stats.TxBad,
+					fmt.Sprintf("tx dev%d: IP packet with ttl %d", dev, ttl))
+			} else {
+				io.stats.TxTTLOK++
+			}
+		}
+		flow := mm.Mem[addr+6+payloadFlowWord]
+		seq := mm.Mem[addr+6+payloadSeqWord]
+		if seq <= io.lastSeq[flow] {
+			io.orderViolations++
+		}
+		io.lastSeq[flow] = seq
+		return 0, nil
+	})
+	m.RegisterBuiltin("__drop", func(mm *machine.M, args []int64) (int64, error) {
+		io.stats.Dropped++
+		return 0, nil
+	})
+}
+
+// ShardServeStats is one shard's cumulative serving record, summed over
+// every machine generation the shard went through.
+type ShardServeStats struct {
+	Rx, Tx, Dropped int
+	Faults          int // supervised kmain calls that ended in a handled fault
+	Calls           int // supervised kmain calls driven
+	OrderViolations int
+	Restarts        int // supervisor restarts inside the shard
+	Swaps           int // fallback swaps inside the shard
+	Respawns        int // whole-machine respawns from the fleet snapshot
+}
+
+// FleetReport summarizes a sharded serving run.
+type FleetReport struct {
+	Shards   int
+	Rx       int
+	Tx       int
+	Dropped  int
+	Goodput  float64 // (Tx + Dropped) / Rx, fleet-wide
+	PerShard []ShardServeStats
+	// OrderViolations counts per-flow sequence inversions observed at
+	// transmit, fleet-wide. The flow-hash design makes this 0.
+	OrderViolations int
+	// Converged reports every shard's supervisor ended with all
+	// instances serving (healthy or degraded), and no shard died.
+	Converged bool
+	Statuses  [][]supervise.InstanceStatus
+	// Metrics is the fleet-wide roll-up of every shard's collector,
+	// retired generations included.
+	Metrics *observe.Report
+}
+
+// ServeFleet serves flow-structured traffic over a sharded router
+// fleet. Every shard runs the same built image; faultEvery > 0 arms a
+// fault injector on shard 0's Classifier only — the blast-radius
+// scenario: that shard's supervisor restarts and then swaps in
+// ClassifierSafe while the siblings' counters stay untouched.
+func ServeFleet(res *build.Result, spec FlowSpec, shards int, pol *supervise.Policy,
+	clk func(int) supervise.Clock, faultEvery int) (*FleetReport, error) {
+
+	if shards < 1 {
+		return nil, fmt.Errorf("clack: fleet needs at least 1 shard, got %d", shards)
+	}
+	var victimSym string
+	if faultEvery > 0 {
+		victim := FirstInstanceOf(res, "Classifier")
+		if victim == nil {
+			return nil, fmt.Errorf("clack: no Classifier instance to inject faults into")
+		}
+		victimSym = victim.ExportSyms["in"]["push"]
+	}
+
+	// Per-shard IO, current generation; totals accumulate retired
+	// generations at respawn time (Setup runs again on the same ID).
+	ios := make([]*shardIO, shards)
+	totals := make([]ShardServeStats, shards)
+	retire := func(id int) {
+		io := ios[id]
+		if io == nil {
+			return
+		}
+		totals[id].Rx += io.stats.Rx[0] + io.stats.Rx[1]
+		totals[id].Tx += io.stats.Tx[0] + io.stats.Tx[1]
+		totals[id].Dropped += io.stats.Dropped
+		totals[id].Faults += io.faults
+		totals[id].Calls += io.calls
+		totals[id].OrderViolations += io.orderViolations
+	}
+	setup := func(id int, m *machine.M) error {
+		machine.InstallStopWatch(m)
+		if id == fleet.Prototype {
+			// The prototype only runs the init schedule; give it inert
+			// devices in case an initializer touches them.
+			installShardDevices(m, &shardIO{lastSeq: map[int64]int64{}})
+			return nil
+		}
+		retire(id)
+		ios[id] = &shardIO{lastSeq: map[int64]int64{}}
+		installShardDevices(m, ios[id])
+		if faultEvery > 0 && id == 0 {
+			faultinject.Attach(m).TrapCallEvery(victimSym, faultEvery)
+		}
+		return nil
+	}
+
+	handler := func(sh *fleet.Shard[FlowPacket], batch []FlowPacket) error {
+		io := ios[sh.ID]
+		for _, fp := range batch {
+			lane := fleet.FlowLane(fp.Flow, 2)
+			io.rx[lane] = append(io.rx[lane], fp.Pkt)
+		}
+		// Drive kmain one iteration at a time (a fault costs at most the
+		// packets in flight) until the ingress queues are dry. The bound
+		// mirrors ServeSupervised: a healthy or degraded shard consumes
+		// at least one packet per iteration; only a machine the
+		// supervisor has given up on (dead instance, every call failing)
+		// exhausts it, and that is exactly the respawn case.
+		limit := io.calls + 4*len(batch) + 64
+		for io.remaining() > 0 {
+			if io.calls >= limit {
+				return fmt.Errorf("no progress after %d kmain calls (%d packets stuck)",
+					limit, io.remaining())
+			}
+			io.calls++
+			if _, err := sh.Sup.Call("main", "kmain", 1); err != nil {
+				io.faults++
+			}
+		}
+		return nil
+	}
+
+	fl, err := fleet.New[FlowPacket](res, fleet.Config{
+		Shards: shards,
+		Policy: pol,
+		Clock:  clk,
+		Setup:  setup,
+	}, handler)
+	if err != nil {
+		return nil, err
+	}
+	for _, fp := range spec.Generate() {
+		fl.Submit(fp.Flow, fp)
+	}
+	closeErr := fl.Close()
+
+	rep := &FleetReport{Shards: shards, Converged: closeErr == nil}
+	rep.Statuses = fl.Statuses()
+	rep.Metrics = fl.Report()
+	for id, sh := range fl.Shards() {
+		retire(id)
+		ios[id] = nil
+		st := totals[id]
+		st.Respawns = sh.Respawns()
+		for _, is := range rep.Statuses[id] {
+			st.Restarts += is.Restarts
+			st.Swaps += is.Swaps
+			if is.State != supervise.Healthy && is.State != supervise.Degraded {
+				rep.Converged = false
+			}
+		}
+		rep.PerShard = append(rep.PerShard, st)
+		rep.Rx += st.Rx
+		rep.Tx += st.Tx
+		rep.Dropped += st.Dropped
+		rep.OrderViolations += st.OrderViolations
+	}
+	if rep.Rx > 0 {
+		rep.Goodput = float64(rep.Tx+rep.Dropped) / float64(rep.Rx)
+	}
+	return rep, nil
+}

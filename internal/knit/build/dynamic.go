@@ -77,10 +77,12 @@ func (r *Result) LoadDynamic(m *machine.M, du DynamicUnit) (*LoadedUnit, error) 
 	// The elaboration base is the static program plus this machine's
 	// previously loaded modules: their instances (so fresh instance IDs
 	// stay unique) and their exports (so modules can wire to modules).
+	// Cloned, not aliased: appending onto the shared r.Program.Instances
+	// backing array would race across machines loading concurrently.
 	base := &link.Program{
 		Registry:  reg,
 		Top:       r.Program.Top,
-		Instances: r.Program.Instances,
+		Instances: append([]*link.Instance(nil), r.Program.Instances...),
 		Exports:   map[string]*link.Wire{},
 	}
 	for name, w := range r.Program.Exports {

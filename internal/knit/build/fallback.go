@@ -70,17 +70,19 @@ func (r *Result) SwapFallback(m *machine.M, failing *link.Instance) (*LoadedUnit
 	}
 
 	// Fresh instance IDs must clear both static instances and the
-	// modules already live on this machine.
+	// modules already live on this machine. The instance slice is cloned,
+	// not aliased: appending to a slice whose backing array is the shared
+	// r.Program.Instances would let two machines swapping concurrently
+	// scribble over each other's element (the Image sharing contract says
+	// the static program is read-only once built).
 	st := r.stateOf(m)
 	base := &link.Program{
 		Registry:  reg,
 		Top:       r.Program.Top,
-		Instances: r.Program.Instances,
+		Instances: append([]*link.Instance(nil), r.Program.Instances...),
 		Exports:   r.Program.Exports,
 	}
-	for _, prev := range st.loaded {
-		base.Instances = append(base.Instances, prev)
-	}
+	base.Instances = append(base.Instances, st.loaded...)
 	inst, err := link.ElaborateDynamicEnv(reg, base, fbName, r.sources, env)
 	if err != nil {
 		return nil, err

@@ -92,6 +92,50 @@ func (r *Result) NewMachine() *machine.M {
 	return machine.New(r.Image)
 }
 
+// PostInitSnapshot builds a prototype machine, lets setup install the
+// embedder's device builtins (setup may be nil), runs the program's
+// initializers on it, and returns the resulting snapshot. The snapshot
+// is the fleet spin-up currency: NewMachineFrom clones a ready-to-serve
+// machine from it — one memory copy, no re-run of the init schedule.
+// The prototype is discarded; only the snapshot survives.
+func (r *Result) PostInitSnapshot(setup func(*machine.M) error) (*machine.Snapshot, error) {
+	m := r.NewMachine()
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.RunInit(m); err != nil {
+		return nil, err
+	}
+	snap := m.Snapshot()
+	r.forget(m)
+	return snap, nil
+}
+
+// NewMachineFrom creates a machine whose program state is restored from
+// a snapshot of this build (text and symbol tables shared read-only via
+// the Image; data cloned from the snapshot). When the snapshot was taken
+// after RunInit — the PostInitSnapshot case — the new machine is marked
+// initialized, so Run and the supervisor skip the init schedule.
+// Builtins are not part of snapshots; the caller installs its own.
+func (r *Result) NewMachineFrom(snap *machine.Snapshot, initialized bool) *machine.M {
+	m := machine.New(r.Image)
+	m.Restore(snap)
+	if initialized {
+		r.stateOf(m).initDone = true
+	}
+	return m
+}
+
+// forget drops the per-machine state entry for a discarded machine so
+// short-lived prototypes do not accumulate in the state map.
+func (r *Result) forget(m *machine.M) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.mach, m)
+}
+
 // Export resolves a top-level export bundle symbol to its global
 // (C-level) name, suitable for machine.M.Run.
 func (r *Result) Export(bundle, sym string) (string, error) {

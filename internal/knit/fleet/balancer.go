@@ -1,0 +1,50 @@
+// Package fleet runs N shards of one built Knit program in a single
+// process: every shard is a machine.M + supervise.Supervisor +
+// observe.Collector trio sharing one immutable compiled Image (text and
+// symbol tables read-only across shards — the machine.Image sharing
+// contract), with per-shard data cloned from a single post-init
+// snapshot. In front sits a flow-hash balancer: work items carry a flow
+// key, identical keys always land on the same shard, and hand-off is
+// batched onto per-shard queues so the channel cost amortizes across a
+// batch instead of taxing every item.
+//
+// This is the paper's multi-instantiation story (§2.3) turned into a
+// scaling mechanism: the component assembly is built once, and the
+// shard count is a deployment knob — no unit is rewritten to go
+// multi-core. A shard that dies is respawned from the shared snapshot
+// by its own supervisor without touching its siblings, and the
+// per-shard collectors roll up through observe.MergeReports into one
+// fleet-wide ledger.
+package fleet
+
+// Mix64 is the splitmix64 finalizer: a cheap, statistically strong
+// 64-bit mixer. It is the fleet's only hash — deterministic across runs
+// and processes, so flow placement is reproducible (a property the
+// tests pin down, and the reason placement is not seeded per-process).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FlowShard maps a flow key to its shard: hash then reduce. Every item
+// of a flow takes the same shard, so per-flow ordering reduces to the
+// FIFO order of one shard's queue.
+func FlowShard(flow uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(Mix64(flow) % uint64(shards))
+}
+
+// FlowLane is a second, independent placement decision for the same
+// flow — which ingress device (lane) the flow uses within its shard. It
+// consumes the mixer's high bits, uncorrelated with the low-bit shard
+// reduction, so lane choice does not skew shard balance.
+func FlowLane(flow uint64, lanes int) int {
+	if lanes <= 1 {
+		return 0
+	}
+	return int((Mix64(flow) >> 32) % uint64(lanes))
+}

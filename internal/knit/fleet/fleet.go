@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/observe"
+	"knit/internal/knit/supervise"
+	"knit/internal/machine"
+)
+
+// Prototype is the shard ID passed to Config.Setup for the throwaway
+// machine that produces the fleet's post-init snapshot. Setup must
+// install the same builtin surface it installs for real shards (the
+// init schedule may call devices), but any host-side state it creates
+// for the prototype is discarded with it.
+const Prototype = -1
+
+// Config shapes a fleet. The zero value of every optional field has a
+// usable default; only Shards is mandatory.
+type Config struct {
+	// Shards is the number of machines to run. Must be >= 1.
+	Shards int
+	// Batch is how many submitted items accumulate per shard before a
+	// hand-off (default 64). Batching amortizes the channel operation;
+	// per-flow ordering is unaffected because a flow's items stay in
+	// submission order within its shard's batches.
+	Batch int
+	// Queue is the per-shard queue depth in batches (default 8). A full
+	// queue blocks Submit — backpressure, not drops.
+	Queue int
+	// Policy is the restart policy template; each shard gets its own
+	// decorrelated copy via Policy.ForShard. Default supervise.Default().
+	Policy *supervise.Policy
+	// Clock supplies each shard's supervisor clock (default wall clock).
+	// Tests inject fakes; shard IDs let them be distinct per shard.
+	Clock func(shard int) supervise.Clock
+	// Setup installs host-side builtins (devices, console, stopwatch) on
+	// a fresh machine. It runs once for the Prototype and once per shard
+	// boot, including respawns. Builtins are per-machine by the snapshot
+	// contract — snapshots exclude them — so Setup is where each shard
+	// gets its own device state.
+	Setup func(shard int, m *machine.M) error
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards < 1 {
+		return c, fmt.Errorf("fleet: config needs Shards >= 1, got %d", c.Shards)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Queue <= 0 {
+		c.Queue = 8
+	}
+	if c.Policy == nil {
+		c.Policy = supervise.Default()
+	}
+	if c.Clock == nil {
+		c.Clock = func(int) supervise.Clock { return supervise.Wall() }
+	}
+	return c, nil
+}
+
+// Handler drains one batch on one shard. It runs on the shard's
+// goroutine, so it may use the shard's machine, supervisor, and
+// collector freely — they are never shared across goroutines. A nil
+// return means the batch was served (possibly degraded: the supervisor
+// may have restarted or swapped components along the way). A non-nil
+// return means the shard's machine is beyond the supervisor's recovery
+// — the fleet retires its ledger and respawns it from the shared
+// snapshot; the batch itself is lost (counted in Dropped).
+type Handler[T any] func(sh *Shard[T], batch []T) error
+
+// Fleet is N shards of one build.Result behind a flow-hash balancer.
+// Submit/Flush/Close are single-producer: one goroutine feeds the
+// fleet. Report, Statuses, and the per-shard accessors are valid after
+// Close returns.
+type Fleet[T any] struct {
+	res    *build.Result
+	cfg    Config
+	snap   *machine.Snapshot
+	handle Handler[T]
+	shards []*Shard[T]
+	// pending accumulates submissions per shard until a batch fills.
+	pending [][]T
+	closed  bool
+}
+
+// Shard is one machine's worth of the fleet. Its fields are owned by
+// the shard goroutine while the fleet runs; read them after Close.
+type Shard[T any] struct {
+	ID  int
+	M   *machine.M
+	Sup *supervise.Supervisor
+	Col *observe.Collector
+
+	fl       *Fleet[T]
+	in       chan []T
+	done     chan struct{}
+	served   uint64
+	dropped  uint64
+	respawns int
+	errs     []error
+	// retired holds the observability ledgers of this shard's dead
+	// predecessors, so a respawn loses no history from the roll-up.
+	retired []*observe.Report
+}
+
+// New builds a fleet: it takes the post-init snapshot on a prototype
+// machine (running the init schedule exactly once for the whole fleet),
+// then boots cfg.Shards shards from it, each with its own supervisor
+// and collector, and starts their goroutines.
+func New[T any](res *build.Result, cfg Config, handle Handler[T]) (*Fleet[T], error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if handle == nil {
+		return nil, errors.New("fleet: nil handler")
+	}
+	var protoSetup func(*machine.M) error
+	if cfg.Setup != nil {
+		protoSetup = func(m *machine.M) error { return cfg.Setup(Prototype, m) }
+	}
+	snap, err := res.PostInitSnapshot(protoSetup)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: post-init snapshot: %w", err)
+	}
+	fl := &Fleet[T]{
+		res:     res,
+		cfg:     cfg,
+		snap:    snap,
+		handle:  handle,
+		pending: make([][]T, cfg.Shards),
+	}
+	for id := 0; id < cfg.Shards; id++ {
+		sh := &Shard[T]{
+			ID:   id,
+			fl:   fl,
+			in:   make(chan []T, cfg.Queue),
+			done: make(chan struct{}),
+		}
+		if err := sh.boot(); err != nil {
+			return nil, fmt.Errorf("fleet: boot shard %d: %w", id, err)
+		}
+		fl.shards = append(fl.shards, sh)
+		fl.pending[id] = make([]T, 0, cfg.Batch)
+	}
+	for _, sh := range fl.shards {
+		go sh.run()
+	}
+	return fl, nil
+}
+
+// boot (re)creates the shard's machine trio from the fleet's shared
+// snapshot: data restored by one memory copy, text and symbols shared
+// through the image, initializers already run, fresh builtins from
+// Setup, fresh collector, fresh supervisor with the shard's
+// decorrelated policy.
+func (sh *Shard[T]) boot() error {
+	fl := sh.fl
+	m := fl.res.NewMachineFrom(fl.snap, true)
+	if fl.cfg.Setup != nil {
+		if err := fl.cfg.Setup(sh.ID, m); err != nil {
+			return err
+		}
+	}
+	col := observe.Attach(m)
+	fl.res.SetObserver(m, col)
+	sup := supervise.New(fl.res, m, fl.cfg.Policy.ForShard(sh.ID), fl.cfg.Clock(sh.ID))
+	sup.Observe(col)
+	sh.M, sh.Sup, sh.Col = m, sup, col
+	return nil
+}
+
+// run is the shard goroutine: drain batches until the queue closes,
+// respawning from the shared snapshot when the handler reports the
+// machine unrecoverable.
+func (sh *Shard[T]) run() {
+	defer close(sh.done)
+	for batch := range sh.in {
+		if err := sh.fl.handle(sh, batch); err != nil {
+			sh.errs = append(sh.errs, fmt.Errorf("shard %d (respawn %d): %w", sh.ID, sh.respawns, err))
+			sh.dropped += uint64(len(batch))
+			sh.respawn()
+			continue
+		}
+		sh.served += uint64(len(batch))
+	}
+}
+
+// respawn retires the dead machine's ledger and boots a replacement.
+// Siblings are untouched: everything respawn reads — the snapshot, the
+// image — is immutable and shared; everything it writes is this
+// shard's own.
+func (sh *Shard[T]) respawn() {
+	if sh.Col != nil {
+		sh.retired = append(sh.retired, sh.Col.Report())
+	}
+	sh.respawns++
+	if err := sh.boot(); err != nil {
+		// A snapshot restore cannot fail, so only Setup can land here;
+		// record it and let the shard keep draining (and dropping) so
+		// Close never deadlocks.
+		sh.errs = append(sh.errs, fmt.Errorf("shard %d: respawn: %w", sh.ID, err))
+	}
+}
+
+// Submit routes one item by its flow key. Identical flows always reach
+// the same shard, preserving per-flow order; the item rides in the
+// shard's current batch and is handed off when the batch fills (or at
+// Flush). Submit blocks when the target shard's queue is full.
+func (fl *Fleet[T]) Submit(flow uint64, item T) {
+	if fl.closed {
+		panic("fleet: Submit after Close")
+	}
+	id := FlowShard(flow, fl.cfg.Shards)
+	fl.pending[id] = append(fl.pending[id], item)
+	if len(fl.pending[id]) >= fl.cfg.Batch {
+		fl.shards[id].in <- fl.pending[id]
+		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
+	}
+}
+
+// Flush hands off every partial batch.
+func (fl *Fleet[T]) Flush() {
+	for id, batch := range fl.pending {
+		if len(batch) == 0 {
+			continue
+		}
+		fl.shards[id].in <- batch
+		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
+	}
+}
+
+// Close flushes, stops every shard, and waits for them to drain. It
+// returns the accumulated shard errors (each already attributed to its
+// shard and respawn generation). After Close the fleet's reports and
+// per-shard state are safe to read from any goroutine.
+func (fl *Fleet[T]) Close() error {
+	if fl.closed {
+		return nil
+	}
+	fl.Flush()
+	fl.closed = true
+	for _, sh := range fl.shards {
+		close(sh.in)
+	}
+	var errs []error
+	for _, sh := range fl.shards {
+		<-sh.done
+		errs = append(errs, sh.errs...)
+	}
+	return errors.Join(errs...)
+}
+
+// Shards exposes the shard list (read shard state only after Close, or
+// from the shard's own handler).
+func (fl *Fleet[T]) Shards() []*Shard[T] { return fl.shards }
+
+// Served and Dropped count items the shard's handler completed and
+// items lost to respawns; Respawns counts reboots from the snapshot.
+func (sh *Shard[T]) Served() uint64  { return sh.served }
+func (sh *Shard[T]) Dropped() uint64 { return sh.dropped }
+func (sh *Shard[T]) Respawns() int   { return sh.respawns }
+
+// Report rolls every shard's ledger — live collectors plus the retired
+// ledgers of respawned predecessors — into one fleet-wide report via
+// the observe merge path.
+func (fl *Fleet[T]) Report() *observe.Report {
+	var parts []*observe.Report
+	for _, sh := range fl.shards {
+		parts = append(parts, sh.retired...)
+		if sh.Col != nil {
+			parts = append(parts, sh.Col.Report())
+		}
+	}
+	return observe.MergeReports(parts...)
+}
+
+// Statuses returns each live shard's supervisor view, indexed by shard.
+func (fl *Fleet[T]) Statuses() [][]supervise.InstanceStatus {
+	out := make([][]supervise.InstanceStatus, len(fl.shards))
+	for i, sh := range fl.shards {
+		out[i] = sh.Sup.Report()
+	}
+	return out
+}

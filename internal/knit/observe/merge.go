@@ -1,0 +1,70 @@
+package observe
+
+import "sort"
+
+// This file is the fleet roll-up path: per-shard collectors each hold a
+// private ledger, and a fleet-wide report is their merge. Merging is
+// exact for everything the ledgers store — counters and log2 histograms
+// are sums — and the percentiles need no special handling because they
+// were never stored: ApproxPercentile derives them from the histogram,
+// so they recompute over the merged distribution for free. That is the
+// reason the ledger keeps a histogram instead of a percentile estimate:
+// histograms form a monoid, percentile sketches do not.
+
+// Merge folds other's counters into im. The two ledgers must describe
+// the same instance path; Merge does not check (MergeReports does).
+func (im *InstanceMetrics) Merge(other *InstanceMetrics) {
+	im.Calls += other.Calls
+	im.Cycles += other.Cycles
+	for i := range im.Hist {
+		im.Hist[i] += other.Hist[i]
+	}
+	for i := range im.Traps {
+		im.Traps[i] += other.Traps[i]
+	}
+	im.Inits += other.Inits
+	im.Finis += other.Finis
+	im.Restarts += other.Restarts
+	im.Swaps += other.Swaps
+	im.Unloads += other.Unloads
+}
+
+// MergeReports combines any number of reports into one: ledgers for the
+// same instance path are merged, the rest are concatenated, and the
+// result is sorted like a Collector.Report. Nil reports are skipped, the
+// inputs are not mutated, and the output shares no memory with them.
+func MergeReports(reports ...*Report) *Report {
+	byPath := map[string]*InstanceMetrics{}
+	var order []string
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		for i := range r.Instances {
+			im := &r.Instances[i]
+			acc, ok := byPath[im.Path]
+			if !ok {
+				cp := *im
+				byPath[im.Path] = &cp
+				order = append(order, im.Path)
+				continue
+			}
+			acc.Merge(im)
+		}
+	}
+	sort.Strings(order)
+	out := &Report{Instances: make([]InstanceMetrics, 0, len(order))}
+	for _, path := range order {
+		out.Instances = append(out.Instances, *byPath[path])
+	}
+	return out
+}
+
+// Merge folds another collector's ledgers into c (the receiving
+// collector keeps attributing live traffic afterwards). Both collectors
+// must be quiescent — merge between runs, not mid-call.
+func (c *Collector) Merge(other *Collector) {
+	for path, im := range other.inst {
+		c.metricsFor(path).Merge(im)
+	}
+}

@@ -53,6 +53,26 @@ func Default() *Policy {
 	}
 }
 
+// ForShard derives an independent copy of the policy for one fleet
+// shard: same budgets and backoff shape, but a decorrelated JitterSeed
+// so shards that fail together do not back off in lockstep and hammer
+// the respawn path as one thundering herd. Supervisors are per-machine
+// and not concurrency-safe, so every shard needs its own Policy value;
+// the Units override map is deep-copied for the same reason.
+func (p *Policy) ForShard(shard int) *Policy {
+	cp := *p
+	// Weyl-sequence increment (golden-ratio constant): consecutive shard
+	// IDs land far apart in seed space.
+	cp.JitterSeed = p.JitterSeed + int64(shard+1)*-0x61c8864680b583eb
+	if p.Units != nil {
+		cp.Units = make(map[string]UnitOverride, len(p.Units))
+		for k, v := range p.Units {
+			cp.Units[k] = v
+		}
+	}
+	return &cp
+}
+
 func (p *Policy) restartsFor(unit string) int {
 	if o, ok := p.Units[unit]; ok && o.MaxRestarts != nil {
 		return *o.MaxRestarts

@@ -63,6 +63,19 @@ const (
 
 // Image is a loaded program: globals placed, strings interned, function
 // addresses assigned.
+//
+// Sharing contract: an Image is immutable once loaded, so any number of
+// machines may run off the same Image concurrently — each M copies the
+// initial data segment (initMem) into its own Mem at New, and all other
+// Image state (text, entry points, address maps, interned strings, cost
+// model) is only ever read after Load returns. The one sanctioned
+// post-Load write is the build layer assigning SymbolOwner exactly once,
+// before any machine is created from the image. Everything mutable at
+// run time — memory, stack, dynamic modules, interposition redirects,
+// hooks, counters — lives on M, never on Image. Code that adds Image
+// state must either populate it fully inside Load or move it to M;
+// internal/machine's shared-image race test (shared_test.go) is the
+// regression net for violations.
 type Image struct {
 	File       *obj.File
 	Entry      map[string]*obj.Func

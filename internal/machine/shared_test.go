@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"knit/internal/cmini"
+	"knit/internal/obj"
+)
+
+// TestSharedImageConcurrentMachines is the regression net for the Image
+// sharing contract (see the Image doc comment): many machines run off
+// one image at once, each exercising the per-machine mutable surface —
+// memory, dynamic loads, interposition, snapshots — while the image is
+// only read. Run with -race; a violation of the contract (any post-Load
+// image mutation) shows up as a data race here.
+func TestSharedImageConcurrentMachines(t *testing.T) {
+	f := fileWith(
+		buildFunc("bump", 0, 3, 0, []obj.Instr{
+			{Op: obj.OpAddrGlobal, Dst: 1, Sym: "counter", A: obj.NoReg},
+			{Op: obj.OpLoad, Dst: 2, A: 1},
+			{Op: obj.OpConst, Dst: 0, Imm: 1},
+			{Op: obj.OpBin, Dst: 2, A: 2, B: 0, Tok: int(cmini.PLUS)},
+			{Op: obj.OpStore, A: 1, B: 2},
+			{Op: obj.OpRet, A: 2, HasVal: true},
+		}),
+		buildFunc("orig", 0, 1, 0, []obj.Instr{
+			{Op: obj.OpConst, Dst: 0, Imm: 1},
+			{Op: obj.OpRet, A: 0, HasVal: true},
+		}),
+	)
+	f.Datas["counter"] = &obj.Data{Name: "counter", Size: 1,
+		Init: []obj.DataInit{{Kind: obj.InitConst, Val: 0}}}
+	f.AddSym(&obj.Symbol{Name: "counter", Kind: obj.SymData, Defined: true})
+
+	img, err := Load(f, DefaultCosts())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// The build layer's one sanctioned post-Load write, done before any
+	// machine exists.
+	img.SymbolOwner = map[string]string{"bump": "Top/Bump#1", "orig": "Top/Orig#2"}
+
+	const machines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < machines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := New(img)
+			// Per-machine dynamic module: exercises the image-reading
+			// side of LoadDynamic concurrently with sibling machines.
+			mod := obj.NewFile("mod")
+			mod.Funcs["repl"] = &obj.Func{Name: "repl", NArgs: 0, NRegs: 1, Code: []obj.Instr{
+				{Op: obj.OpConst, Dst: 0, Imm: int64(100 + id)},
+				{Op: obj.OpRet, A: 0, HasVal: true},
+			}}
+			mod.AddSym(&obj.Symbol{Name: "repl", Kind: obj.SymFunc, Defined: true})
+			if err := m.LoadDynamic(mod); err != nil {
+				t.Errorf("machine %d: LoadDynamic: %v", id, err)
+				return
+			}
+			if err := m.Interpose("orig", "repl"); err != nil {
+				t.Errorf("machine %d: Interpose: %v", id, err)
+				return
+			}
+			snap := m.Snapshot()
+			for r := 0; r < rounds; r++ {
+				if _, err := m.Run("bump"); err != nil {
+					t.Errorf("machine %d: bump: %v", id, err)
+					return
+				}
+			}
+			v, err := m.Run("bump")
+			if err != nil {
+				t.Errorf("machine %d: bump: %v", id, err)
+				return
+			}
+			if v != rounds+1 {
+				t.Errorf("machine %d: counter = %d, want %d (data bled across machines?)", id, v, rounds+1)
+			}
+			if v, err := m.Run("orig"); err != nil || v != int64(100+id) {
+				t.Errorf("machine %d: interposed orig = %d, %v; want %d", id, v, err, 100+id)
+			}
+			// Restore rewinds this machine only: its counter, its
+			// redirects, its dynamic modules.
+			m.Restore(snap)
+			if v, err := m.Run("bump"); err != nil || v != 1 {
+				t.Errorf("machine %d: post-restore counter = %d, %v; want 1", id, v, err)
+			}
+			if owner := m.OwnerOf("bump"); owner != "Top/Bump#1" {
+				t.Errorf("machine %d: OwnerOf(bump) = %q", id, owner)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestSharedImageFreshMachineSeesInitData pins the other half of the
+// contract: New copies initMem, so a machine that scribbled on its
+// globals never leaks into a sibling created later from the same image.
+func TestSharedImageFreshMachineSeesInitData(t *testing.T) {
+	f := fileWith(buildFunc("bump", 0, 3, 0, []obj.Instr{
+		{Op: obj.OpAddrGlobal, Dst: 1, Sym: "counter", A: obj.NoReg},
+		{Op: obj.OpLoad, Dst: 2, A: 1},
+		{Op: obj.OpConst, Dst: 0, Imm: 1},
+		{Op: obj.OpBin, Dst: 2, A: 2, B: 0, Tok: int(cmini.PLUS)},
+		{Op: obj.OpStore, A: 1, B: 2},
+		{Op: obj.OpRet, A: 2, HasVal: true},
+	}))
+	f.Datas["counter"] = &obj.Data{Name: "counter", Size: 1,
+		Init: []obj.DataInit{{Kind: obj.InitConst, Val: 41}}}
+	f.AddSym(&obj.Symbol{Name: "counter", Kind: obj.SymData, Defined: true})
+	img, err := Load(f, DefaultCosts())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	a := New(img)
+	if v, err := a.Run("bump"); err != nil || v != 42 {
+		t.Fatalf("first machine bump = %d, %v; want 42", v, err)
+	}
+	b := New(img)
+	if v, err := b.Run("bump"); err != nil || v != 42 {
+		t.Fatalf("fresh machine bump = %d, %v; want 42 (saw sibling's writes)", v, err)
+	}
+}
