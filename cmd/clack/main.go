@@ -20,6 +20,7 @@ import (
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
 	"knit/internal/knit/supervise"
+	"knit/internal/machine"
 )
 
 func main() {
@@ -33,21 +34,27 @@ func main() {
 		soak       = flag.Duration("soak", 0, "with -supervise, repeat serving runs for this long and check for goroutine leaks")
 		metrics    = flag.Bool("metrics", false, "with -supervise, print the per-instance observability report (each soak run dumps periodically)")
 		shards     = flag.Int("shards", 0, "serve through a fleet of N shards behind the flow-hash balancer (0 = single machine)")
+		backendF   = flag.String("backend", "", "execution backend: interp (reference, default) or compiled (closure-compiled; cycle columns exclude i-fetch stalls)")
 	)
 	flag.Parse()
 
+	backend, err := machine.ParseBackend(*backendF)
+	if err != nil {
+		fail(err)
+	}
+
 	if *shards > 0 {
-		runFleet(*shards, *packets, *faultEvery, *metrics)
+		runFleet(*shards, *packets, *faultEvery, *metrics, backend)
 		return
 	}
 
 	if *supFlag {
-		runSupervised(*packets, *faultEvery, *soak, *metrics)
+		runSupervised(*packets, *faultEvery, *soak, *metrics, backend)
 		return
 	}
 
 	if *configPath != "" {
-		runCustom(*configPath, *packets, *dumpUnits)
+		runCustom(*configPath, *packets, *dumpUnits, backend)
 		return
 	}
 
@@ -63,10 +70,16 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown variant %q", *variant))
 	}
-	meas, err := clack.MeasureVariant(v, clack.DefaultTraffic(*packets))
+	res, err := clack.BuildRouter(v)
 	if err != nil {
 		fail(err)
 	}
+	res.Backend = backend
+	meas, err := clack.RunRouter(res, clack.DefaultTraffic(*packets))
+	if err != nil {
+		fail(err)
+	}
+	meas.Variant = v
 	report(meas)
 }
 
@@ -76,11 +89,12 @@ func main() {
 // >= 90% goodput and converge (every instance healthy or
 // degraded-to-fallback); a soak repeats runs for the given duration and
 // additionally checks that supervision leaks no goroutines.
-func runSupervised(packets, faultEvery int, soak time.Duration, metrics bool) {
+func runSupervised(packets, faultEvery int, soak time.Duration, metrics bool, backend machine.Backend) {
 	res, err := clack.BuildRouter(clack.Variant{})
 	if err != nil {
 		fail(err)
 	}
+	res.Backend = backend
 	baseline := runtime.NumGoroutine()
 	spec := clack.DefaultTraffic(packets)
 	pol := supervise.Default()
@@ -141,11 +155,12 @@ func runSupervised(packets, faultEvery int, soak time.Duration, metrics bool) {
 // image: flow-hashed placement, per-shard supervisors, merged metrics.
 // With -fault-every, shard 0's classifier is killed every N packets and
 // the report shows the blast radius staying inside that shard.
-func runFleet(shards, packets, faultEvery int, metrics bool) {
+func runFleet(shards, packets, faultEvery int, metrics bool, backend machine.Backend) {
 	res, err := clack.BuildRouter(clack.Variant{})
 	if err != nil {
 		fail(err)
 	}
+	res.Backend = backend
 	clk := func(int) supervise.Clock { return supervise.Wall() }
 	rep, err := clack.ServeFleet(res, clack.DefaultFlowTraffic(packets), shards,
 		supervise.Default(), clk, faultEvery)
@@ -167,7 +182,7 @@ func runFleet(shards, packets, faultEvery int, metrics bool) {
 	}
 }
 
-func runCustom(path string, packets int, dumpUnits bool) {
+func runCustom(path string, packets int, dumpUnits bool, backend machine.Backend) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail(err)
@@ -197,6 +212,7 @@ func runCustom(path string, packets int, dumpUnits bool) {
 		UnitFiles: map[string]string{"custom.unit": full},
 		Sources:   sources,
 		Optimize:  true,
+		Backend:   backend,
 	})
 	if err != nil {
 		fail(err)

@@ -37,6 +37,7 @@ func main() {
 		run      = flag.String("run", "", "exported function to execute, as bundle.symbol")
 		arg      = flag.Int64("arg", 0, "argument passed to the executed function")
 		fuel     = flag.Int64("fuel", 0, "instruction budget per machine run; a component exceeding it traps instead of hanging (0 = unlimited)")
+		backendF = flag.String("backend", "", "execution backend for -run: interp (reference, default) or compiled (closure-compiled, faster, no fetch model)")
 		check    = flag.Bool("check", true, "run the constraint checker")
 		optimize = flag.Bool("O", false, "enable the optimizer")
 		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
@@ -57,6 +58,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: knit -top Unit [flags] file.unit...")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	backend, err := machine.ParseBackend(*backendF)
+	if err != nil {
+		fail(err)
 	}
 
 	unitFiles := map[string]string{}
@@ -92,6 +98,7 @@ func main() {
 		Check:       *check,
 		Cache:       cache,
 		Parallelism: *jobs,
+		Backend:     backend,
 	})
 	if err != nil {
 		fail(err)

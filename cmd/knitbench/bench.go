@@ -25,14 +25,26 @@ import (
 // calibration ratio before applying the tolerance; cycles-per-packet is
 // fully deterministic (simulated cycles) and is compared directly.
 
-// RouterBench is BENCH_router.json.
+// RouterBench is BENCH_router.json. The interp and compiled halves each
+// carry their own cycles-per-packet: the compiled backend has no
+// instruction-fetch model, so its (deterministic) cycle figure is lower
+// by exactly the interpreter's stall count and the two are never
+// compared against each other — only against their own baselines.
 type RouterBench struct {
 	Bench              string  `json:"bench"`
 	Packets            int     `json:"packets"`
 	CyclesPerPacket    float64 `json:"cycles_per_packet"`
 	PacketsPerSec      float64 `json:"packets_per_sec"`
 	ObserveOverheadPct float64 `json:"observe_overhead_pct"`
-	CalibNs            int64   `json:"calib_ns"`
+	// CompiledCyclesPerPacket is the compiled backend's deterministic
+	// per-packet cycle count (interp cycles minus i-fetch stalls).
+	CompiledCyclesPerPacket float64 `json:"compiled_cycles_per_packet"`
+	// CompiledPacketsPerSec is wall throughput under the compiled
+	// backend; CompiledSpeedup is its ratio over the interpreter's,
+	// measured back-to-back on the same host (calibration cancels).
+	CompiledPacketsPerSec float64 `json:"compiled_packets_per_sec"`
+	CompiledSpeedup       float64 `json:"compiled_speedup"`
+	CalibNs               int64   `json:"calib_ns"`
 }
 
 // BuildTimeBench is BENCH_buildtime.json.
@@ -56,6 +68,7 @@ type BuildTimeBench struct {
 // cores only beats it.
 type FleetBench struct {
 	Bench             string  `json:"bench"`
+	Backend           string  `json:"backend"`
 	Packets           int     `json:"packets"`
 	GoMaxProcs        int     `json:"gomaxprocs"`
 	PPS1              float64 `json:"pps_1shard"`
@@ -69,11 +82,12 @@ type FleetBench struct {
 // the same flow traffic (fastest of benchRounds each), asserting on
 // every run the properties the fleet exists to provide: full packet
 // accounting and zero per-flow order violations.
-func measureFleet(packets int) *FleetBench {
+func measureFleet(packets int, backend machine.Backend) *FleetBench {
 	res, err := clack.BuildRouter(clack.Variant{})
 	if err != nil {
 		fail(err)
 	}
+	res.Backend = backend
 	spec := clack.DefaultFlowTraffic(packets)
 	pps := map[int]float64{}
 	for _, shards := range []int{1, 2, 4} {
@@ -96,6 +110,7 @@ func measureFleet(packets int) *FleetBench {
 	}
 	return &FleetBench{
 		Bench:             "fleet",
+		Backend:           backend.String(),
 		Packets:           packets,
 		GoMaxProcs:        runtime.GOMAXPROCS(0),
 		PPS1:              pps[1],
@@ -107,12 +122,12 @@ func measureFleet(packets int) *FleetBench {
 }
 
 // runFleetBench is knitbench -fleet: print the pps-vs-shards scaling
-// curve for the current host.
-func runFleetBench(packets int) {
+// curve for the current host, on the backend chosen with -backend.
+func runFleetBench(packets int, backend machine.Backend) {
 	fmt.Println("== Fleet scaling: sharded router serving, one shared image ==")
-	fb := measureFleet(packets)
-	fmt.Printf("   %d packets, GOMAXPROCS %d, host calib %v\n",
-		fb.Packets, fb.GoMaxProcs, time.Duration(fb.CalibNs))
+	fb := measureFleet(packets, backend)
+	fmt.Printf("   %d packets, %s backend, GOMAXPROCS %d, host calib %v\n",
+		fb.Packets, fb.Backend, fb.GoMaxProcs, time.Duration(fb.CalibNs))
 	for _, p := range []struct {
 		shards int
 		pps    float64
@@ -151,23 +166,29 @@ func calibrate() int64 {
 
 const benchRounds = 5
 
-// measureRouter benchmarks the modular Clack router: deterministic
-// cycles per packet, wall-clock packets per second (fastest of
-// benchRounds), and the instrumented-vs-uninstrumented overhead of an
+// measureRouter benchmarks the modular Clack router on both execution
+// backends: deterministic cycles per packet, wall-clock packets per
+// second (fastest of benchRounds each), the interp-vs-compiled wall
+// speedup, and the instrumented-vs-uninstrumented overhead of an
 // attached observe.Collector.
 func measureRouter(packets int) *RouterBench {
 	res, err := clack.BuildRouter(clack.Variant{})
 	if err != nil {
 		fail(err)
 	}
+	resC, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	resC.Backend = machine.BackendCompiled
 	spec := clack.DefaultTraffic(packets)
 
-	run := func(prep func(*machine.M)) (*clack.Measurement, time.Duration) {
+	run := func(r *build.Result, prep func(*machine.M)) (*clack.Measurement, time.Duration) {
 		var meas *clack.Measurement
 		best := time.Duration(1) << 62
-		for r := 0; r < benchRounds; r++ {
+		for i := 0; i < benchRounds; i++ {
 			start := time.Now()
-			m, err := clack.RunRouterWith(res, spec, prep)
+			m, err := clack.RunRouterWith(r, spec, prep)
 			if err != nil {
 				fail(err)
 			}
@@ -179,8 +200,8 @@ func measureRouter(packets int) *RouterBench {
 		return meas, best
 	}
 
-	meas, plain := run(nil)
-	instrumented, traced := run(func(m *machine.M) {
+	meas, plain := run(res, nil)
+	instrumented, traced := run(res, func(m *machine.M) {
 		c := observe.Attach(m)
 		c.Trace(1024)
 	})
@@ -189,14 +210,26 @@ func measureRouter(packets int) *RouterBench {
 		fail(fmt.Errorf("observe collector changed the simulation: %.0f vs %.0f cycles/packet",
 			instrumented.CyclesPerPk, meas.CyclesPerPk))
 	}
+	measC, compiled := run(resC, nil)
+	// The compiled backend is faster wall-clock but cycle-cheaper only
+	// by the fetch model: packet outcomes must be identical.
+	if measC.Forwarded != meas.Forwarded || measC.Dropped != meas.Dropped {
+		fail(fmt.Errorf("backends disagree on packet outcomes: interp fwd=%d drop=%d, compiled fwd=%d drop=%d",
+			meas.Forwarded, meas.Dropped, measC.Forwarded, measC.Dropped))
+	}
 
+	pps := float64(meas.Packets) / plain.Seconds()
+	ppsC := float64(measC.Packets) / compiled.Seconds()
 	return &RouterBench{
-		Bench:              "router",
-		Packets:            packets,
-		CyclesPerPacket:    meas.CyclesPerPk,
-		PacketsPerSec:      float64(meas.Packets) / plain.Seconds(),
-		ObserveOverheadPct: 100 * (traced.Seconds() - plain.Seconds()) / plain.Seconds(),
-		CalibNs:            calibrate(),
+		Bench:                   "router",
+		Packets:                 packets,
+		CyclesPerPacket:         meas.CyclesPerPk,
+		PacketsPerSec:           pps,
+		ObserveOverheadPct:      100 * (traced.Seconds() - plain.Seconds()) / plain.Seconds(),
+		CompiledCyclesPerPacket: measC.CyclesPerPk,
+		CompiledPacketsPerSec:   ppsC,
+		CompiledSpeedup:         ppsC / pps,
+		CalibNs:                 calibrate(),
 	}
 }
 
@@ -273,13 +306,15 @@ func runJSON(outDir string, packets int) {
 	}
 	rb := measureRouter(packets)
 	bb := measureBuildTime()
-	fb := measureFleet(packets)
+	fb := measureFleet(packets, machine.BackendInterp)
 	writeBench(filepath.Join(outDir, "BENCH_router.json"), rb)
 	writeBench(filepath.Join(outDir, "BENCH_buildtime.json"), bb)
 	writeBench(filepath.Join(outDir, "BENCH_fleet.json"), fb)
 	fmt.Printf("knitbench: wrote BENCH_router.json, BENCH_buildtime.json, BENCH_fleet.json in %s\n", outDir)
 	fmt.Printf("  router: %.0f cycles/packet, %.0f packets/sec, observe overhead %+.2f%%\n",
 		rb.CyclesPerPacket, rb.PacketsPerSec, rb.ObserveOverheadPct)
+	fmt.Printf("  router compiled: %.0f cycles/packet (no fetch model), %.0f packets/sec (x%.2f vs interp)\n",
+		rb.CompiledCyclesPerPacket, rb.CompiledPacketsPerSec, rb.CompiledSpeedup)
 	fmt.Printf("  buildtime: cold %v, warm %v (%.1f%% of cold), parallel %v, cache %d/%d\n",
 		time.Duration(bb.ColdNs), time.Duration(bb.WarmNs), 100*bb.WarmFracOfCold,
 		time.Duration(bb.ParallelNs), bb.CacheHits, bb.CompileJobs)
@@ -320,7 +355,7 @@ func runGate(baseDir string, tol float64, packets int) {
 	baseF := readBench[FleetBench](filepath.Join(baseDir, "BENCH_fleet.json"))
 	rb := measureRouter(packets)
 	bb := measureBuildTime()
-	fb := measureFleet(packets)
+	fb := measureFleet(packets, machine.BackendInterp)
 
 	var failures []string
 	check := func(name string, current, baseline float64, lowerIsBetter bool) {
@@ -351,6 +386,19 @@ func runGate(baseDir string, tol float64, packets int) {
 	// from both sides.
 	check("router packets/calib",
 		rb.PacketsPerSec*float64(rb.CalibNs)/1e9, baseR.PacketsPerSec*float64(baseR.CalibNs)/1e9, false)
+	// The compiled backend's own deterministic cycles and calibrated
+	// throughput, each against its own baseline — never cross-backend.
+	check("compiled cycles/packet", rb.CompiledCyclesPerPacket, baseR.CompiledCyclesPerPacket, true)
+	check("compiled packets/calib",
+		rb.CompiledPacketsPerSec*float64(rb.CalibNs)/1e9,
+		baseR.CompiledPacketsPerSec*float64(baseR.CalibNs)/1e9, false)
+	// The speedup is a same-host ratio, so it gets a hard floor rather
+	// than a baseline-relative tolerance: the compiled backend must stay
+	// at least 5x the interpreter on the router workload.
+	fmt.Printf("  %-28s floor %19.1f  current %12.1f\n", "compiled speedup (x)", 5.0, rb.CompiledSpeedup)
+	if rb.CompiledSpeedup < 5.0 {
+		failures = append(failures, "compiled speedup below 5x")
+	}
 	// Build times in calibration units.
 	check("warm build (calib units)",
 		float64(bb.WarmNs)/float64(bb.CalibNs), float64(baseB.WarmNs)/float64(baseB.CalibNs), true)

@@ -25,6 +25,7 @@ import (
 	"knit/internal/knit/build"
 	"knit/internal/knit/supervise"
 	"knit/internal/ldlink"
+	"knit/internal/machine"
 	"knit/internal/oskit"
 )
 
@@ -45,8 +46,14 @@ func main() {
 		gateDir   = flag.String("gate", "", "compare fresh measurements against the BENCH_*.json baselines in this directory and fail on regression")
 		tolerance = flag.Float64("tolerance", 0.25, "with -gate, allowed fractional regression (0.25 = 25%)")
 		packets   = flag.Int("packets", 2000, "router workload size")
+		backendF  = flag.String("backend", "", "execution backend for -fleet serving runs: interp (default) or compiled")
 	)
 	flag.Parse()
+
+	backend, err := machine.ParseBackend(*backendF)
+	if err != nil {
+		fail(err)
+	}
 
 	if *jsonOut {
 		runJSON(*outDir, *packets)
@@ -61,7 +68,7 @@ func main() {
 		return
 	}
 	if *fleetF {
-		runFleetBench(*packets)
+		runFleetBench(*packets, backend)
 		return
 	}
 	all := !(*table1 || *table2 || *micro || *census || *buildtime || *fig1c || *ablations || *recovery)

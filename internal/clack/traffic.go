@@ -72,14 +72,18 @@ func DefaultTraffic(n int) TrafficSpec {
 func (spec TrafficSpec) Generate() [2][]Packet {
 	r := rand.New(rand.NewSource(spec.Seed))
 	var out [2][]Packet
+	// Packets are large values; preallocate so appending never reallocates
+	// (the copies used to dominate generation time for big specs).
+	out[0] = make([]Packet, 0, spec.Packets/2+1)
+	out[1] = make([]Packet, 0, spec.Packets/2+1)
 	every := func(n, i int) bool { return n > 0 && i%n == n-1 }
+	// Destination network 10 routes to port 0, 20 to port 1, 30 to
+	// port 0; anything else takes the default route (port 1).
+	nets := [...]int64{10, 20, 30, 77}
 	for i := 0; i < spec.Packets; i++ {
 		var p Packet
 		p.TTL = int64(4 + r.Intn(60))
 		p.Src = int64(r.Intn(1 << 16))
-		// Destination network 10 routes to port 0, 20 to port 1, 30 to
-		// port 0; anything else takes the default route (port 1).
-		nets := []int64{10, 20, 30, 77}
 		p.Dst = nets[r.Intn(len(nets))]*256 + int64(r.Intn(256))
 		for j := range p.Payload {
 			p.Payload[j] = int64(r.Intn(1 << 15))

@@ -83,6 +83,12 @@ type Options struct {
 	// translation units compile in parallel; output ordering (and thus
 	// the built Object and Image) is identical at every setting.
 	Parallelism int
+	// Backend selects the execution engine for machines created from
+	// the Result (NewMachine/NewMachineFrom): the cycle-accounting
+	// interpreter (default) or the closure-compiled backend. The built
+	// Image is identical either way; only execution speed and the
+	// I-cache stall model differ.
+	Backend machine.Backend
 }
 
 // compileOptions derives the compiler configuration from build options.
@@ -103,7 +109,7 @@ func Build(opts Options) (*Result, error) {
 	if len(opts.UnitFiles) == 0 {
 		return nil, fmt.Errorf("knit: build needs at least one unit file")
 	}
-	res := &Result{copts: opts.compileOptions(), sources: opts.Sources}
+	res := &Result{copts: opts.compileOptions(), sources: opts.Sources, Backend: opts.Backend}
 
 	// Parse the unit-definition files.
 	start := time.Now()

@@ -27,6 +27,12 @@ type Result struct {
 	ConstraintReport *constraint.Report
 	// Timings is the per-phase build-time breakdown.
 	Timings Timings
+	// Backend is the execution engine machines created from this Result
+	// run on (copied from Options.Backend). Mutable until the first
+	// NewMachine; the fleet, supervise and observe layers inherit it
+	// because every machine they spin up goes through NewMachine or
+	// NewMachineFrom.
+	Backend machine.Backend
 
 	copts compile.Options
 	// sources is the build's virtual filesystem, retained so runtime
@@ -89,7 +95,7 @@ func (r *Result) event(m *machine.M, instance, op string) {
 // builtins (console, serial, stopwatch) are the caller's to install
 // before running.
 func (r *Result) NewMachine() *machine.M {
-	return machine.New(r.Image)
+	return machine.NewWith(r.Image, machine.Options{Backend: r.Backend})
 }
 
 // PostInitSnapshot builds a prototype machine, lets setup install the
@@ -120,7 +126,7 @@ func (r *Result) PostInitSnapshot(setup func(*machine.M) error) (*machine.Snapsh
 // initialized, so Run and the supervisor skip the init schedule.
 // Builtins are not part of snapshots; the caller installs its own.
 func (r *Result) NewMachineFrom(snap *machine.Snapshot, initialized bool) *machine.M {
-	m := machine.New(r.Image)
+	m := machine.NewWith(r.Image, machine.Options{Backend: r.Backend})
 	m.Restore(snap)
 	if initialized {
 		r.stateOf(m).initDone = true

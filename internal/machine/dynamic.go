@@ -255,6 +255,9 @@ func (m *M) LoadDynamicAs(name, owner string, o *obj.File) error {
 	sortStrings(mod.globals)
 	m.dyn.textSize = text - m.Img.TextSize
 	m.dyn.modules = append(m.dyn.modules, mod)
+	// New definitions can satisfy call sites previously resolved to a
+	// builtin or to undefined; drop the compiled dispatch caches.
+	m.dispVersion++
 	return nil
 }
 
@@ -395,6 +398,12 @@ func (m *M) UnloadDynamic(name string) error {
 	if len(m.dyn.modules) == 0 {
 		m.dyn = nil
 	}
+	// Compiled forms of the unloaded functions must go (their dispatch
+	// slots and baked addresses are dead); dropping the whole per-machine
+	// cache is simpler and unload is rare. Live modules recompile lazily
+	// to identical code — their symbol addresses never move.
+	m.dynCompiled = nil
+	m.dispVersion++
 	return nil
 }
 

@@ -51,12 +51,19 @@ func (m *M) Interpose(sym, target string) error {
 		}
 	}
 	m.redirect[sym] = final
+	// The compiled backend caches resolved call targets per site;
+	// invalidate them all so the very next call to sym (even one made by
+	// a frame already running) lands on the replacement.
+	m.dispVersion++
 	return nil
 }
 
 // Unpose removes the redirect installed for sym, if any, restoring
 // direct calls to the original definition.
-func (m *M) Unpose(sym string) { delete(m.redirect, sym) }
+func (m *M) Unpose(sym string) {
+	delete(m.redirect, sym)
+	m.dispVersion++ // drop compiled dispatch caches holding the redirect
+}
 
 // Interposed reports where calls to sym currently land: the redirect
 // target, or "" when sym is not interposed.

@@ -57,4 +57,10 @@ func (m *M) Restore(s *Snapshot) {
 	} else {
 		m.redirect = nil
 	}
+	// Redirects and the dynamic-module world just changed wholesale:
+	// drop the compiled backend's per-machine caches. Static compiled
+	// code lives on the Image and is untouched; dynamic functions
+	// recompile lazily against the restored tables.
+	m.dynCompiled = nil
+	m.dispVersion++
 }

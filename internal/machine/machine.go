@@ -11,6 +11,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"knit/internal/cmini"
 	"knit/internal/obj"
@@ -93,6 +94,16 @@ type Image struct {
 	// are attributed to components (fault isolation, not just fault
 	// detection). Nil is fine: attribution is best-effort.
 	SymbolOwner map[string]string
+
+	// compiled is the closure-compiled form of the static program (see
+	// compile_backend.go), derived lazily — and exactly once — from the
+	// immutable post-Load state by the first machine that runs with
+	// BackendCompiled. Building it under the Once is the second
+	// sanctioned post-Load write; all machines share the result
+	// read-only. All mutable compiled-backend state (dispatch caches,
+	// dynamic-module compilations) lives on M.
+	compileOnce sync.Once
+	compiled    *imageProg
 }
 
 // LoadError reports a problem resolving an object file into an image.
@@ -359,6 +370,21 @@ type M struct {
 	regTop   int
 	argStack []int64
 	argTop   int
+
+	// Compiled-backend state (see compile_backend.go). backend selects
+	// the execution engine. sites is the per-machine dispatch cache the
+	// compiled code resolves call sites through; a cached target is only
+	// trusted while its version matches dispVersion, which is bumped
+	// whenever the name→code mapping can change (interpose/unpose,
+	// dynamic load/unload, restore, reset, builtin registration), so no
+	// closure ever acts on a stale redirect. dynCompiled caches this
+	// machine's compilations of dynamically loaded functions; nextSite
+	// allocates their dispatch-cache slots past the static program's.
+	backend     Backend
+	sites       []callSite
+	nextSite    int
+	dispVersion uint64
+	dynCompiled map[*obj.Func]*cfunc
 }
 
 // CallInfo describes one completed simulated function call, as passed
@@ -414,10 +440,17 @@ func (m *M) Reset() {
 	m.depth = 0
 	m.fuelEnd = 0
 	m.regTop, m.argTop = 0, 0 // arenas keep their capacity across resets
+	m.sites = nil
+	m.nextSite = 0
+	m.dynCompiled = nil
+	m.dispVersion++ // fresh caches start invalid (slot version 0 < 1)
 }
 
 // RegisterBuiltin installs a host function under the given symbol name.
-func (m *M) RegisterBuiltin(name string, fn Builtin) { m.Builtins[name] = fn }
+func (m *M) RegisterBuiltin(name string, fn Builtin) {
+	m.Builtins[name] = fn
+	m.dispVersion++ // an undefined-call site may now resolve to the builtin
+}
 
 // Run calls the named function with the given arguments and returns its
 // result. At the top level (not from within simulated code) it re-arms
@@ -491,8 +524,13 @@ func (m *M) fetch(textOff int64) {
 // call runs one simulated function body via exec, firing the PostCall
 // hook (when installed) with the call's frame identity, fuel delta, and
 // outcome. The disabled path is a single nil check so that detached
-// observability costs nothing measurable.
+// observability costs nothing measurable. Under the compiled backend
+// the body runs as closure-compiled code instead; invoke carries the
+// same hook contract.
 func (m *M) call(fn *obj.Func, args []int64) (int64, error) {
+	if m.backend == BackendCompiled {
+		return m.invoke(m.compiledFor(fn), args)
+	}
 	if m.PostCall == nil {
 		return m.exec(fn, args)
 	}
@@ -556,12 +594,25 @@ func (m *M) exec(fn *obj.Func, args []int64) (int64, error) {
 	m.sp = fp + int64(fn.Frame)
 	defer func() { m.sp = fp }()
 
-	textOff := m.Img.textOff[fn.Name]
-	if dfn, ok := m.dynFunc(fn.Name); ok && dfn == fn {
-		textOff = m.dyn.textOff[fn.Name]
+	return m.execLoop(fn, regs, fp, 0, true)
+}
+
+// execLoop is the interpreter proper: it executes fn's body over an
+// already-established frame (registers, frame pointer, stack), starting
+// at pc. With model=false the instruction-fetch model is skipped —
+// Stalls stay untouched and Cycles count only execution — which is the
+// cost semantics of the compiled backend; it uses this mode to finish a
+// frame exactly, instruction by instruction, when a step or fuel limit
+// is close enough that bulk accounting could overshoot the trap point.
+func (m *M) execLoop(fn *obj.Func, regs []int64, fp int64, pc int, model bool) (int64, error) {
+	var textOff, ib int64
+	if model {
+		textOff = m.Img.textOff[fn.Name]
+		if dfn, ok := m.dynFunc(fn.Name); ok && dfn == fn {
+			textOff = m.dyn.textOff[fn.Name]
+		}
+		ib = int64(m.Costs.InstrBytes)
 	}
-	ib := int64(m.Costs.InstrBytes)
-	pc := 0
 	for {
 		if pc < 0 || pc >= len(fn.Code) {
 			return 0, &Trap{Msg: "pc out of range", Func: fn.Name, PC: pc}
@@ -577,7 +628,9 @@ func (m *M) exec(fn *obj.Func, args []int64) (int64, error) {
 		in := &fn.Code[pc]
 		m.Executed++
 		m.Cycles += m.Costs.Instr
-		m.fetch(textOff + int64(pc)*ib)
+		if model {
+			m.fetch(textOff + int64(pc)*ib)
+		}
 
 		switch in.Op {
 		case obj.OpConst:

@@ -96,6 +96,103 @@ func TestSharedImageConcurrentMachines(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSharedImageConcurrentCompiledMachines runs the same shared-image
+// contract with a mixed fleet: half the machines on the compiled
+// closure backend, half on the interpreter, all off one image. The
+// compiled backend adds two shared read-mostly structures on top of the
+// Image — the once-built static program (Image.prog) and the per-image
+// cfunc bodies every compiled machine executes — plus per-machine state
+// (dispatch caches, dynamic compilations) that must never bleed across
+// siblings. Run with -race: the first few machines race to trigger the
+// lazy image compilation while others are already executing it.
+func TestSharedImageConcurrentCompiledMachines(t *testing.T) {
+	f := fileWith(
+		buildFunc("bump", 0, 3, 0, []obj.Instr{
+			{Op: obj.OpAddrGlobal, Dst: 1, Sym: "counter", A: obj.NoReg},
+			{Op: obj.OpLoad, Dst: 2, A: 1},
+			{Op: obj.OpConst, Dst: 0, Imm: 1},
+			{Op: obj.OpBin, Dst: 2, A: 2, B: 0, Tok: int(cmini.PLUS)},
+			{Op: obj.OpStore, A: 1, B: 2},
+			{Op: obj.OpRet, A: 2, HasVal: true},
+		}),
+		buildFunc("orig", 0, 1, 0, []obj.Instr{
+			{Op: obj.OpConst, Dst: 0, Imm: 1},
+			{Op: obj.OpRet, A: 0, HasVal: true},
+		}),
+		buildFunc("caller", 0, 1, 0, []obj.Instr{
+			{Op: obj.OpCall, Dst: 0, Sym: "orig", A: obj.NoReg},
+			{Op: obj.OpRet, A: 0, HasVal: true},
+		}),
+	)
+	f.Datas["counter"] = &obj.Data{Name: "counter", Size: 1,
+		Init: []obj.DataInit{{Kind: obj.InitConst, Val: 0}}}
+	f.AddSym(&obj.Symbol{Name: "counter", Kind: obj.SymData, Defined: true})
+
+	img, err := Load(f, DefaultCosts())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	const machines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < machines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := New(img)
+			compiled := id%2 == 0
+			if compiled {
+				m.SetBackend(BackendCompiled)
+			}
+			// Per-machine interposition through a per-machine dynamic
+			// module: each compiled machine builds its own dynamic cfunc
+			// and dispatch cache; none of that may cross machines.
+			mod := obj.NewFile("mod")
+			mod.Funcs["repl"] = &obj.Func{Name: "repl", NArgs: 0, NRegs: 1, Code: []obj.Instr{
+				{Op: obj.OpConst, Dst: 0, Imm: int64(100 + id)},
+				{Op: obj.OpRet, A: 0, HasVal: true},
+			}}
+			mod.AddSym(&obj.Symbol{Name: "repl", Kind: obj.SymFunc, Defined: true})
+			if err := m.LoadDynamic(mod); err != nil {
+				t.Errorf("machine %d: LoadDynamic: %v", id, err)
+				return
+			}
+			// Warm the direct-call dispatch slot on the original target,
+			// then interpose: the slot must re-resolve, concurrently with
+			// siblings doing the same against the shared cfunc bodies.
+			if v, err := m.Run("caller"); err != nil || v != 1 {
+				t.Errorf("machine %d: pre-interpose caller = %d, %v; want 1", id, v, err)
+				return
+			}
+			if err := m.Interpose("orig", "repl"); err != nil {
+				t.Errorf("machine %d: Interpose: %v", id, err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				if _, err := m.Run("bump"); err != nil {
+					t.Errorf("machine %d: bump: %v", id, err)
+					return
+				}
+			}
+			v, err := m.Run("bump")
+			if err != nil {
+				t.Errorf("machine %d: bump: %v", id, err)
+				return
+			}
+			if v != rounds+1 {
+				t.Errorf("machine %d: counter = %d, want %d (data bled across machines?)", id, v, rounds+1)
+			}
+			if v, err := m.Run("caller"); err != nil || v != int64(100+id) {
+				t.Errorf("machine %d: interposed caller = %d, %v; want %d", id, v, err, 100+id)
+			}
+			if compiled && m.Stalls != 0 {
+				t.Errorf("machine %d: compiled backend reported %d stalls; fetch model must stay off", id, m.Stalls)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
 // TestSharedImageFreshMachineSeesInitData pins the other half of the
 // contract: New copies initMem, so a machine that scribbled on its
 // globals never leaks into a sibling created later from the same image.
