@@ -34,6 +34,9 @@ func main() {
 		soak       = flag.Duration("soak", 0, "with -supervise, repeat serving runs for this long and check for goroutine leaks")
 		metrics    = flag.Bool("metrics", false, "with -supervise, print the per-instance observability report (each soak run dumps periodically)")
 		shards     = flag.Int("shards", 0, "serve through a fleet of N shards behind the flow-hash balancer (0 = single machine)")
+		upgrade    = flag.Bool("upgrade", false, "with -shards, live-upgrade the classifiers mid-stream via canary rollout")
+		canaryN    = flag.Int("canary", 1, "with -upgrade, number of canary shards")
+		badCanary  = flag.Bool("bad-canary", false, "with -upgrade, trial the injected-regression classifier; the run must end in a verified rollback")
 		backendF   = flag.String("backend", "", "execution backend: interp (reference, default) or compiled (closure-compiled; cycle columns exclude i-fetch stalls)")
 	)
 	flag.Parse()
@@ -44,6 +47,10 @@ func main() {
 	}
 
 	if *shards > 0 {
+		if *upgrade {
+			runFleetUpgrade(*shards, *packets, *canaryN, *badCanary, *metrics, backend)
+			return
+		}
 		runFleet(*shards, *packets, *faultEvery, *metrics, backend)
 		return
 	}
@@ -179,6 +186,72 @@ func runFleet(shards, packets, faultEvery int, metrics bool, backend machine.Bac
 	if metrics && rep.Metrics != nil {
 		fmt.Println("clack fleet metrics (all shards merged):")
 		rep.Metrics.Format(os.Stdout)
+	}
+}
+
+// runFleetUpgrade is the live-reconfiguration demo: the fleet serves
+// the standard router, then mid-stream the classifiers are upgraded via
+// a canary rollout gated on the observe SLOs. A good upgrade must
+// promote with zero goodput loss and zero order violations; a bad one
+// (-bad-canary) must be caught by the SLO window and rolled back
+// snapshot-identically — each outcome is the exit-status gate for its
+// CI leg.
+func runFleetUpgrade(shards, packets, canaries int, bad, metrics bool, backend machine.Backend) {
+	if shards < 2 {
+		fail(fmt.Errorf("-upgrade needs at least 2 shards (one canary, one stable), got %d", shards))
+	}
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	res.Backend = backend
+	clk := func(int) supervise.Clock { return supervise.Wall() }
+	rep, err := clack.ServeFleetUpgrade(res, clack.DefaultFlowTraffic(packets), shards,
+		canaries, bad, supervise.Default(), clk)
+	if err != nil {
+		fail(err)
+	}
+	outcome := "promoted"
+	if rep.RolledBack {
+		outcome = "rolled back"
+		if rep.RollbackVerified {
+			outcome += " (snapshot-verified)"
+		}
+	}
+	fmt.Printf("clack upgrade: %d shards, canaries %v, plan [%s], %s after %d packets (%v, %d window ticks)\n",
+		rep.Shards, rep.Canaries, rep.Plan, outcome, rep.DecisionAfter, rep.DecisionLatency.Round(time.Microsecond), rep.ObserveRounds)
+	fmt.Printf("  goodput %.4f, %d order violations\n", rep.Goodput, rep.OrderViolations)
+	for id, st := range rep.PerShard {
+		fmt.Printf("  shard %d: rx %d, tx %d, dropped %d, faults %d, restarts %d, respawns %d\n",
+			id, st.Rx, st.Tx, st.Dropped, st.Faults, st.Restarts, st.Respawns)
+	}
+	if metrics && rep.Metrics != nil {
+		fmt.Println("clack upgrade metrics (all shards merged):")
+		rep.Metrics.Format(os.Stdout)
+	}
+	if bad {
+		if !rep.RolledBack {
+			fail(fmt.Errorf("bad canary was not rolled back (promoted=%v)", rep.Promoted))
+		}
+		if !rep.RollbackVerified {
+			fail(fmt.Errorf("rollback left residue on a canary shard"))
+		}
+		if rep.OrderViolations != 0 {
+			fail(fmt.Errorf("%d order violations during bad-canary drill", rep.OrderViolations))
+		}
+		return
+	}
+	if !rep.Promoted {
+		fail(fmt.Errorf("upgrade did not promote (rolled back=%v)", rep.RolledBack))
+	}
+	if rep.Goodput < 0.999 {
+		fail(fmt.Errorf("goodput %.4f under upgrade, want >= 0.999", rep.Goodput))
+	}
+	if rep.OrderViolations != 0 {
+		fail(fmt.Errorf("%d order violations under upgrade", rep.OrderViolations))
+	}
+	if !rep.Converged {
+		fail(fmt.Errorf("fleet did not converge after promote"))
 	}
 }
 

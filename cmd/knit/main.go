@@ -26,6 +26,7 @@ import (
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
 	"knit/internal/knit/observe"
+	"knit/internal/knit/reconfigure"
 	"knit/internal/knit/supervise"
 	"knit/internal/machine"
 )
@@ -43,6 +44,7 @@ func main() {
 		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
 		cacheDir = flag.String("cache", "", "directory for the content-hash compile cache (empty = no cache)")
 		jobs     = flag.Int("j", 0, "parallel compile jobs (0 = one per CPU)")
+		upgradeF = flag.String("upgrade", "", "with -run, after the first call live-reconfigure to this target unit file (diff, rewire, re-run; the upgraded result is checked against a cold build of the target)")
 		supFlag  = flag.Bool("supervise", false, "run -run under the self-healing supervisor (restart/fallback/escalate per policy)")
 		policy   = flag.String("policy", "", "supervision policy file (default: built-in policy)")
 		calls    = flag.Int("calls", 1, "with -supervise, number of supervised calls to drive")
@@ -89,7 +91,7 @@ func main() {
 			fail(err)
 		}
 	}
-	res, err := build.Build(build.Options{
+	opts := build.Options{
 		Top:         *top,
 		UnitFiles:   unitFiles,
 		Sources:     sources,
@@ -99,7 +101,8 @@ func main() {
 		Cache:       cache,
 		Parallelism: *jobs,
 		Backend:     backend,
-	})
+	}
+	res, err := build.Build(opts)
 	if err != nil {
 		fail(err)
 	}
@@ -167,6 +170,9 @@ func main() {
 			printStreams(con, ser)
 			fmt.Printf("%s(%d) = %d   [%d cycles, %d instructions]\n",
 				*run, *arg, v, m.Cycles, m.Executed)
+			if *upgradeF != "" {
+				runUpgrade(res, m, *upgradeF, dir, parts[0], parts[1], *arg, opts)
+			}
 		}
 		if *metrics {
 			fmt.Println("knit: per-instance metrics:")
@@ -180,6 +186,73 @@ func main() {
 				len(tracer.Spans()), tracer.Recorded(), *traceOut)
 		}
 	}
+}
+
+// runUpgrade live-reconfigures the machine that just served the first
+// call: the target unit file is parsed and linked, diffed against the
+// running configuration, and the minimal rewire plan is applied
+// transactionally — then the same export runs again on the same
+// machine. As a certificate, a cold build of the target must agree with
+// the upgraded live machine on the call's value.
+func runUpgrade(res *build.Result, m *machine.M, targetPath, srcDir,
+	bundle, sym string, arg int64, base build.Options) {
+
+	data, err := os.ReadFile(targetPath)
+	if err != nil {
+		fail(err)
+	}
+	unitFiles := map[string]string{targetPath: string(data)}
+	sources, err := loadSources(unitFiles, srcDir)
+	if err != nil {
+		fail(err)
+	}
+	for name, src := range base.Sources {
+		if _, done := sources[name]; !done {
+			sources[name] = src
+		}
+	}
+	tgt := reconfigure.Target{
+		Top:       base.Top,
+		UnitFiles: unitFiles,
+		Sources:   sources,
+		Check:     base.Check,
+	}
+	plan, err := reconfigure.Diff(res, tgt)
+	if err != nil {
+		fail(fmt.Errorf("upgrade: %w", err))
+	}
+	fmt.Printf("knit: upgrade plan: %s\n", plan.Summary())
+	for _, st := range plan.Steps() {
+		fmt.Printf("  %-14s %-30s %s\n", st.Op, st.Slot, st.Detail)
+	}
+	if plan.NoOp() {
+		fmt.Println("knit: target is the running configuration; nothing to do")
+		return
+	}
+	if _, err := plan.Apply(m, nil); err != nil {
+		fail(fmt.Errorf("upgrade: %w", err))
+	}
+	v, err := res.Run(m, bundle, sym, arg)
+	if err != nil {
+		fail(fmt.Errorf("upgrade: re-run: %w", err))
+	}
+	fmt.Printf("knit: upgraded live: %s.%s(%d) = %d\n", bundle, sym, arg, v)
+
+	opts := base
+	opts.UnitFiles = unitFiles
+	opts.Sources = sources
+	cold, err := build.Build(opts)
+	if err != nil {
+		fail(fmt.Errorf("upgrade: cold build of target: %w", err))
+	}
+	cv, err := cold.Run(cold.NewMachine(), bundle, sym, arg)
+	if err != nil {
+		fail(fmt.Errorf("upgrade: cold run of target: %w", err))
+	}
+	if cv != v {
+		fail(fmt.Errorf("upgrade: live machine disagrees with cold build: %d vs %d", v, cv))
+	}
+	fmt.Printf("knit: upgrade verified against cold build (both return %d)\n", v)
 }
 
 // writeTrace dumps the tracer's retained spans as JSON lines.

@@ -413,7 +413,20 @@ func runGate(baseDir string, tol float64, packets int) {
 		fb.PPS1*float64(fb.CalibNs)/1e9, baseF.PPS1*float64(baseF.CalibNs)/1e9, false)
 	check("fleet pps@4 shards (calib)",
 		fb.PPS4*float64(fb.CalibNs)/1e9, baseF.PPS4*float64(baseF.CalibNs)/1e9, false)
-	check("fleet scaling efficiency", fb.ScalingEfficiency, baseF.ScalingEfficiency, false)
+	// Scaling efficiency measures parallel speedup, which a single-core
+	// run cannot express: with GOMAXPROCS=1 the shard goroutines
+	// time-slice one core and the curve is flat by construction (the
+	// measured value is dominated by scheduler noise). On such runs the
+	// leg is advisory — printed, never failing — while the pps legs
+	// above stay hard: a batching or balancing regression shows up in
+	// them even on one core.
+	if fb.GoMaxProcs <= 1 || runtime.GOMAXPROCS(0) <= 1 {
+		fmt.Printf("  %-28s baseline %12.1f  current %12.1f  (%+.1f%%)  advisory: GOMAXPROCS=1 cannot scale\n",
+			"fleet scaling efficiency", baseF.ScalingEfficiency, fb.ScalingEfficiency,
+			100*(fb.ScalingEfficiency/baseF.ScalingEfficiency-1))
+	} else {
+		check("fleet scaling efficiency", fb.ScalingEfficiency, baseF.ScalingEfficiency, false)
+	}
 
 	if len(failures) > 0 {
 		fail(fmt.Errorf("bench gate: regression in %v", failures))

@@ -1,0 +1,3 @@
+static int state;
+void a_init(void) { state = 10; }
+int a_get(void) { return state; }

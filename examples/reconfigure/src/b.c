@@ -1,0 +1,4 @@
+int a_get(void);
+static int state;
+void b_init(void) { state = a_get() + 10; }
+int b_get(void) { return state; }

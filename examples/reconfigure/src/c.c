@@ -1,0 +1,4 @@
+int b_get(void);
+static int state;
+void c_init(void) { state = 1; }
+int c_get(int n) { return b_get() + state + n; }

@@ -93,6 +93,48 @@ int safe_push(int p) {
 }
 `
 
+// srcClassifierV2 is the live-upgrade replacement for Classifier:
+// identical ports and routing, with the common case (plain IP) tested
+// first and an initializer guard — an uninitialized V2 degrades to the
+// discard path instead of misrouting, so a botched upgrade loses
+// goodput visibly rather than corrupting flows. It deliberately keeps
+// Classifier's renames (and no in.push rename), so consumers' generated
+// code is byte-identical and the config diff stays minimal.
+const srcClassifierV2 = srcPktH + `
+int push_ip(int p);
+int push_arp(int p);
+int push_other(int p);
+static int ready;
+void v2_init(void) { ready = 1; }
+int push(int p) {
+    struct pkt *k = p;
+    if (ready == 0) { return push_other(p); }
+    if (k->kind == 0) { return push_ip(p); }
+    if (k->kind == 2) { return push_arp(p); }
+    if (k->kind == 3) { return push_other(p); }
+    return push_ip(p);
+}
+`
+
+// srcClassifierBad is the injected-regression classifier for canary
+// testing: it serves a few packets, then every call reads far out of
+// bounds — an attributed bad-address trap. It loads and links cleanly;
+// only the SLO window can catch it.
+const srcClassifierBad = srcPktH + `
+int push_ip(int p);
+int push_arp(int p);
+int push_other(int p);
+static int served;
+int push(int p) {
+    struct pkt *k = p;
+    served++;
+    if (served > 3) { return k->payload[1000000000]; }
+    if (k->kind == 2) { return push_arp(p); }
+    if (k->kind == 3) { return push_other(p); }
+    return push_ip(p);
+}
+`
+
 // srcARPResponder turns an ARP request around: it rewrites the packet
 // into a reply addressed to the requester and pushes it toward the
 // egress queue.
@@ -319,6 +361,8 @@ func ElementSources() link.Sources {
 		"fromdevice.c":     srcFromDevice,
 		"classifier.c":     srcClassifier,
 		"classifiersafe.c": srcClassifierSafe,
+		"classifierv2.c":   srcClassifierV2,
+		"classifierbad.c":  srcClassifierBad,
 		"arpresponder.c":   srcARPResponder,
 		"checkipheader.c":  srcCheckIPHeader,
 		"lookupiproute.c":  srcLookupIPRoute,
@@ -397,6 +441,37 @@ unit ClassifierSafe = {
     arp.push to push_arp;
     other.push to push_other;
     in.push to safe_push;
+  };
+}
+
+// ClassifierV2 is the live-reconfiguration upgrade target for
+// Classifier: same ports, same renames, reordered dispatch behind an
+// initializer guard. See srcClassifierV2.
+unit ClassifierV2 = {
+  imports [ ip : Push, arp : Push, other : Push ];
+  exports [ in : Push ];
+  initializer v2_init for in;
+  depends { in needs (ip + arp + other); };
+  fallback ClassifierSafe;
+  files { "classifierv2.c" };
+  rename {
+    ip.push to push_ip;
+    arp.push to push_arp;
+    other.push to push_other;
+  };
+}
+
+// ClassifierBad is the canary-rollback test subject: links and
+// initializes cleanly, regresses under traffic. See srcClassifierBad.
+unit ClassifierBad = {
+  imports [ ip : Push, arp : Push, other : Push ];
+  exports [ in : Push ];
+  depends { in needs (ip + arp + other); };
+  files { "classifierbad.c" };
+  rename {
+    ip.push to push_ip;
+    arp.push to push_arp;
+    other.push to push_other;
   };
 }
 

@@ -221,106 +221,104 @@ type FleetReport struct {
 	Metrics *observe.Report
 }
 
-// ServeFleet serves flow-structured traffic over a sharded router
-// fleet. Every shard runs the same built image; faultEvery > 0 arms a
-// fault injector on shard 0's Classifier only — the blast-radius
-// scenario: that shard's supervisor restarts and then swaps in
-// ClassifierSafe while the siblings' counters stay untouched.
-func ServeFleet(res *build.Result, spec FlowSpec, shards int, pol *supervise.Policy,
-	clk func(int) supervise.Clock, faultEvery int) (*FleetReport, error) {
+// serveRig is the host side of a serving fleet — per-shard NIC queues,
+// generation totals, the fleet Setup and batch handler, and report
+// assembly — shared by ServeFleet and ServeFleetUpgrade so a live
+// reconfiguration serves through exactly the machinery a plain run
+// does.
+type serveRig struct {
+	// ios holds each shard's current-generation IO; totals accumulate
+	// retired generations at respawn time (Setup runs again on the same
+	// ID).
+	ios        []*shardIO
+	totals     []ShardServeStats
+	faultEvery int
+	victimSym  string
+}
 
+func newServeRig(res *build.Result, shards, faultEvery int) (*serveRig, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("clack: fleet needs at least 1 shard, got %d", shards)
 	}
-	var victimSym string
+	rg := &serveRig{
+		ios:        make([]*shardIO, shards),
+		totals:     make([]ShardServeStats, shards),
+		faultEvery: faultEvery,
+	}
 	if faultEvery > 0 {
 		victim := FirstInstanceOf(res, "Classifier")
 		if victim == nil {
 			return nil, fmt.Errorf("clack: no Classifier instance to inject faults into")
 		}
-		victimSym = victim.ExportSyms["in"]["push"]
+		rg.victimSym = victim.ExportSyms["in"]["push"]
 	}
+	return rg, nil
+}
 
-	// Per-shard IO, current generation; totals accumulate retired
-	// generations at respawn time (Setup runs again on the same ID).
-	ios := make([]*shardIO, shards)
-	totals := make([]ShardServeStats, shards)
-	retire := func(id int) {
-		io := ios[id]
-		if io == nil {
-			return
-		}
-		totals[id].Rx += io.stats.Rx[0] + io.stats.Rx[1]
-		totals[id].Tx += io.stats.Tx[0] + io.stats.Tx[1]
-		totals[id].Dropped += io.stats.Dropped
-		totals[id].Faults += io.faults
-		totals[id].Calls += io.calls
-		totals[id].OrderViolations += io.orderViolations
+func (rg *serveRig) retire(id int) {
+	io := rg.ios[id]
+	if io == nil {
+		return
 	}
-	setup := func(id int, m *machine.M) error {
-		machine.InstallStopWatch(m)
-		if id == fleet.Prototype {
-			// The prototype only runs the init schedule; give it inert
-			// devices in case an initializer touches them.
-			installShardDevices(m, &shardIO{lastSeq: map[int64]int64{}})
-			return nil
-		}
-		retire(id)
-		ios[id] = &shardIO{lastSeq: map[int64]int64{}}
-		installShardDevices(m, ios[id])
-		if faultEvery > 0 && id == 0 {
-			faultinject.Attach(m).TrapCallEvery(victimSym, faultEvery)
-		}
+	rg.totals[id].Rx += io.stats.Rx[0] + io.stats.Rx[1]
+	rg.totals[id].Tx += io.stats.Tx[0] + io.stats.Tx[1]
+	rg.totals[id].Dropped += io.stats.Dropped
+	rg.totals[id].Faults += io.faults
+	rg.totals[id].Calls += io.calls
+	rg.totals[id].OrderViolations += io.orderViolations
+}
+
+func (rg *serveRig) setup(id int, m *machine.M) error {
+	machine.InstallStopWatch(m)
+	if id == fleet.Prototype {
+		// The prototype only runs the init schedule; give it inert
+		// devices in case an initializer touches them.
+		installShardDevices(m, &shardIO{lastSeq: map[int64]int64{}})
 		return nil
 	}
+	rg.retire(id)
+	rg.ios[id] = &shardIO{lastSeq: map[int64]int64{}}
+	installShardDevices(m, rg.ios[id])
+	if rg.faultEvery > 0 && id == 0 {
+		faultinject.Attach(m).TrapCallEvery(rg.victimSym, rg.faultEvery)
+	}
+	return nil
+}
 
-	handler := func(sh *fleet.Shard[FlowPacket], batch []FlowPacket) error {
-		io := ios[sh.ID]
-		for _, fp := range batch {
-			lane := fleet.FlowLane(fp.Flow, 2)
-			io.rx[lane] = append(io.rx[lane], fp.Pkt)
+func (rg *serveRig) handler(sh *fleet.Shard[FlowPacket], batch []FlowPacket) error {
+	io := rg.ios[sh.ID]
+	for _, fp := range batch {
+		lane := fleet.FlowLane(fp.Flow, 2)
+		io.rx[lane] = append(io.rx[lane], fp.Pkt)
+	}
+	// Drive kmain one iteration at a time (a fault costs at most the
+	// packets in flight) until the ingress queues are dry. The bound
+	// mirrors ServeSupervised: a healthy or degraded shard consumes
+	// at least one packet per iteration; only a machine the
+	// supervisor has given up on (dead instance, every call failing)
+	// exhausts it, and that is exactly the respawn case.
+	limit := io.calls + 4*len(batch) + 64
+	for io.remaining() > 0 {
+		if io.calls >= limit {
+			return fmt.Errorf("no progress after %d kmain calls (%d packets stuck)",
+				limit, io.remaining())
 		}
-		// Drive kmain one iteration at a time (a fault costs at most the
-		// packets in flight) until the ingress queues are dry. The bound
-		// mirrors ServeSupervised: a healthy or degraded shard consumes
-		// at least one packet per iteration; only a machine the
-		// supervisor has given up on (dead instance, every call failing)
-		// exhausts it, and that is exactly the respawn case.
-		limit := io.calls + 4*len(batch) + 64
-		for io.remaining() > 0 {
-			if io.calls >= limit {
-				return fmt.Errorf("no progress after %d kmain calls (%d packets stuck)",
-					limit, io.remaining())
-			}
-			io.calls++
-			if _, err := sh.Sup.Call("main", "kmain", 1); err != nil {
-				io.faults++
-			}
+		io.calls++
+		if _, err := sh.Sup.Call("main", "kmain", 1); err != nil {
+			io.faults++
 		}
-		return nil
 	}
+	return nil
+}
 
-	fl, err := fleet.New[FlowPacket](res, fleet.Config{
-		Shards: shards,
-		Policy: pol,
-		Clock:  clk,
-		Setup:  setup,
-	}, handler)
-	if err != nil {
-		return nil, err
-	}
-	for _, fp := range spec.Generate() {
-		fl.Submit(fp.Flow, fp)
-	}
-	closeErr := fl.Close()
-
-	rep := &FleetReport{Shards: shards, Converged: closeErr == nil}
+func (rg *serveRig) report(fl *fleet.Fleet[FlowPacket], closeErr error) *FleetReport {
+	rep := &FleetReport{Shards: len(rg.totals), Converged: closeErr == nil}
 	rep.Statuses = fl.Statuses()
 	rep.Metrics = fl.Report()
 	for id, sh := range fl.Shards() {
-		retire(id)
-		ios[id] = nil
-		st := totals[id]
+		rg.retire(id)
+		rg.ios[id] = nil
+		st := rg.totals[id]
 		st.Respawns = sh.Respawns()
 		for _, is := range rep.Statuses[id] {
 			st.Restarts += is.Restarts
@@ -338,5 +336,32 @@ func ServeFleet(res *build.Result, spec FlowSpec, shards int, pol *supervise.Pol
 	if rep.Rx > 0 {
 		rep.Goodput = float64(rep.Tx+rep.Dropped) / float64(rep.Rx)
 	}
-	return rep, nil
+	return rep
+}
+
+// ServeFleet serves flow-structured traffic over a sharded router
+// fleet. Every shard runs the same built image; faultEvery > 0 arms a
+// fault injector on shard 0's Classifier only — the blast-radius
+// scenario: that shard's supervisor restarts and then swaps in
+// ClassifierSafe while the siblings' counters stay untouched.
+func ServeFleet(res *build.Result, spec FlowSpec, shards int, pol *supervise.Policy,
+	clk func(int) supervise.Clock, faultEvery int) (*FleetReport, error) {
+
+	rg, err := newServeRig(res, shards, faultEvery)
+	if err != nil {
+		return nil, err
+	}
+	fl, err := fleet.New[FlowPacket](res, fleet.Config{
+		Shards: shards,
+		Policy: pol,
+		Clock:  clk,
+		Setup:  rg.setup,
+	}, rg.handler)
+	if err != nil {
+		return nil, err
+	}
+	for _, fp := range spec.Generate() {
+		fl.Submit(fp.Flow, fp)
+	}
+	return rg.report(fl, fl.Close()), nil
 }

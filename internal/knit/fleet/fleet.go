@@ -97,7 +97,7 @@ type Shard[T any] struct {
 	Col *observe.Collector
 
 	fl       *Fleet[T]
-	in       chan []T
+	in       chan envelope[T]
 	done     chan struct{}
 	served   uint64
 	dropped  uint64
@@ -106,6 +106,15 @@ type Shard[T any] struct {
 	// retired holds the observability ledgers of this shard's dead
 	// predecessors, so a respawn loses no history from the roll-up.
 	retired []*observe.Report
+}
+
+// envelope is one queue entry: a data batch for the handler, or a
+// control function to run on the shard goroutine (Exec). Exactly one of
+// the two is set.
+type envelope[T any] struct {
+	batch []T
+	ctrl  func(*Shard[T]) error
+	reply chan<- error
 }
 
 // New builds a fleet: it takes the post-init snapshot on a prototype
@@ -139,7 +148,7 @@ func New[T any](res *build.Result, cfg Config, handle Handler[T]) (*Fleet[T], er
 		sh := &Shard[T]{
 			ID:   id,
 			fl:   fl,
-			in:   make(chan []T, cfg.Queue),
+			in:   make(chan envelope[T], cfg.Queue),
 			done: make(chan struct{}),
 		}
 		if err := sh.boot(); err != nil {
@@ -180,14 +189,22 @@ func (sh *Shard[T]) boot() error {
 // machine unrecoverable.
 func (sh *Shard[T]) run() {
 	defer close(sh.done)
-	for batch := range sh.in {
-		if err := sh.fl.handle(sh, batch); err != nil {
+	for env := range sh.in {
+		if env.ctrl != nil {
+			// Control work runs in-order with the shard's traffic but
+			// outside the handler contract: its error goes to the caller,
+			// not into the respawn path — the controller decides what a
+			// failed step means (typically: roll back).
+			env.reply <- env.ctrl(sh)
+			continue
+		}
+		if err := sh.fl.handle(sh, env.batch); err != nil {
 			sh.errs = append(sh.errs, fmt.Errorf("shard %d (respawn %d): %w", sh.ID, sh.respawns, err))
-			sh.dropped += uint64(len(batch))
+			sh.dropped += uint64(len(env.batch))
 			sh.respawn()
 			continue
 		}
-		sh.served += uint64(len(batch))
+		sh.served += uint64(len(env.batch))
 	}
 }
 
@@ -219,9 +236,40 @@ func (fl *Fleet[T]) Submit(flow uint64, item T) {
 	id := FlowShard(flow, fl.cfg.Shards)
 	fl.pending[id] = append(fl.pending[id], item)
 	if len(fl.pending[id]) >= fl.cfg.Batch {
-		fl.shards[id].in <- fl.pending[id]
+		fl.shards[id].in <- envelope[T]{batch: fl.pending[id]}
 		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
 	}
+}
+
+// Exec runs fn on shard id's goroutine, after everything already queued
+// for that shard, and returns fn's error. The shard's machine,
+// supervisor, and collector are fn's to use — this is the fleet's only
+// sanctioned way to touch a live shard from outside, and the door the
+// reconfiguration layer walks through to apply and roll back upgrades
+// between batches. Single-producer like Submit; blocks until fn ran.
+func (fl *Fleet[T]) Exec(id int, fn func(*Shard[T]) error) error {
+	if fl.closed {
+		return fmt.Errorf("fleet: Exec after Close")
+	}
+	if id < 0 || id >= len(fl.shards) {
+		return fmt.Errorf("fleet: Exec on unknown shard %d", id)
+	}
+	// Flush the shard's partial batch first so fn observes (and follows)
+	// all traffic submitted before it.
+	if len(fl.pending[id]) > 0 {
+		fl.shards[id].in <- envelope[T]{batch: fl.pending[id]}
+		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
+	}
+	reply := make(chan error, 1)
+	fl.shards[id].in <- envelope[T]{ctrl: fn, reply: reply}
+	return <-reply
+}
+
+// ShardPolicy returns the restart policy shard id was booted with — the
+// same decorrelated derivation boot uses — so a controller that
+// temporarily overrode a shard's policy can restore the original.
+func (fl *Fleet[T]) ShardPolicy(id int) *supervise.Policy {
+	return fl.cfg.Policy.ForShard(id)
 }
 
 // Flush hands off every partial batch.
@@ -230,7 +278,7 @@ func (fl *Fleet[T]) Flush() {
 		if len(batch) == 0 {
 			continue
 		}
-		fl.shards[id].in <- batch
+		fl.shards[id].in <- envelope[T]{batch: batch}
 		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
 	}
 }

@@ -74,21 +74,7 @@ func (im *InstanceMetrics) TrapTotal() uint64 {
 // per-call cycle distribution from the log2 histogram, returning the
 // upper bound of the bucket containing it (0 when no calls were seen).
 func (im *InstanceMetrics) ApproxPercentile(p float64) int64 {
-	if im.Calls == 0 {
-		return 0
-	}
-	rank := uint64(p / 100 * float64(im.Calls))
-	if rank == 0 {
-		rank = 1
-	}
-	var seen uint64
-	for i, c := range im.Hist {
-		seen += c
-		if seen >= rank {
-			return int64(1) << (i + 1)
-		}
-	}
-	return int64(1) << HistBuckets
+	return histPercentile(&im.Hist, im.Calls, p)
 }
 
 // histBucket maps an inclusive per-call cycle count to its log2 bucket.

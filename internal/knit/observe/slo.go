@@ -1,0 +1,149 @@
+package observe
+
+// Windowed SLO evaluation for the reconfiguration layer's canary
+// controller: cumulative collector counters are turned into sliding
+// deltas, so a canary shard's trap rate and cycle tail are judged on
+// what happened *since the upgrade*, not diluted by its healthy history.
+
+// Sample is an aggregate activity snapshot: calls, traps, and the
+// per-call cycle histogram summed across instances. Samples subtract
+// (Window.Advance) and add (Add), which is what makes sliding windows
+// and fleet-side merging cheap.
+type Sample struct {
+	Calls uint64
+	Traps uint64
+	Hist  [HistBuckets]uint64
+}
+
+// Add accumulates s2 into s.
+func (s *Sample) Add(s2 Sample) {
+	s.Calls += s2.Calls
+	s.Traps += s2.Traps
+	for i := range s.Hist {
+		s.Hist[i] += s2.Hist[i]
+	}
+}
+
+// TrapRate is traps per call (0 when idle).
+func (s *Sample) TrapRate() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.Traps) / float64(s.Calls)
+}
+
+// P99 estimates the 99th percentile of the per-call cycle distribution
+// (upper bucket bound; 0 when idle).
+func (s *Sample) P99() int64 {
+	return histPercentile(&s.Hist, s.Calls, 99)
+}
+
+// Totals sums the collector's ledgers into one cumulative Sample —
+// everything the machine did since the collector attached.
+func (c *Collector) Totals() Sample {
+	var s Sample
+	for _, im := range c.inst {
+		s.Calls += im.Calls
+		s.Traps += im.TrapTotal()
+		for i := range im.Hist {
+			s.Hist[i] += im.Hist[i]
+		}
+	}
+	return s
+}
+
+// Window turns cumulative samples into a sliding window of recent
+// deltas. Feed it the collector's Totals at a steady cadence; Current
+// sums the most recent Size deltas. Not safe for concurrent use — drive
+// it from whatever goroutine owns the collector's machine.
+type Window struct {
+	size  int
+	last  Sample
+	ring  []Sample
+	next  int
+	count int
+}
+
+// NewWindow creates a sliding window over the size most recent deltas
+// (minimum 1).
+func NewWindow(size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{size: size, ring: make([]Sample, size)}
+}
+
+// Advance records the delta between now and the previous cumulative
+// sample and returns the updated window total. A machine that was
+// restored or respawned can present counters smaller than the previous
+// sample; the delta then falls back to the new cumulative value (the
+// fresh collector started from zero).
+func (w *Window) Advance(now Sample) Sample {
+	d := delta(now, w.last)
+	w.last = now
+	w.ring[w.next] = d
+	w.next = (w.next + 1) % w.size
+	if w.count < w.size {
+		w.count++
+	}
+	return w.Current()
+}
+
+// Current sums the deltas currently in the window.
+func (w *Window) Current() Sample {
+	var s Sample
+	for i := 0; i < w.count; i++ {
+		s.Add(w.ring[i])
+	}
+	return s
+}
+
+// Reset empties the window and re-bases the cumulative anchor at now,
+// so the next Advance measures from this instant — the canary
+// controller calls it at apply time to scope judgment to post-upgrade
+// traffic.
+func (w *Window) Reset(now Sample) {
+	w.last = now
+	w.next, w.count = 0, 0
+	for i := range w.ring {
+		w.ring[i] = Sample{}
+	}
+}
+
+// delta computes now-prev counter-wise, clamping each counter to now
+// when it went backwards (collector replaced under the window).
+func delta(now, prev Sample) Sample {
+	d := Sample{Calls: sub(now.Calls, prev.Calls), Traps: sub(now.Traps, prev.Traps)}
+	for i := range d.Hist {
+		d.Hist[i] = sub(now.Hist[i], prev.Hist[i])
+	}
+	return d
+}
+
+func sub(now, prev uint64) uint64 {
+	if now < prev {
+		return now
+	}
+	return now - prev
+}
+
+// histPercentile estimates the p-th percentile (0 < p <= 100) of a
+// log2 cycle histogram holding calls entries, returning the upper bound
+// of the bucket containing it (0 when no calls were seen).
+func histPercentile(hist *[HistBuckets]uint64, calls uint64, p float64) int64 {
+	if calls == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(calls))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range hist {
+		seen += c
+		if seen >= rank {
+			return int64(1) << (i + 1)
+		}
+	}
+	return int64(1) << HistBuckets
+}

@@ -1,0 +1,202 @@
+package reconfigure
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/link"
+)
+
+// FuzzReconfigure is the differential oracle for the whole
+// reconfiguration path: two generated wirings of the same component
+// vocabulary become a running base and an upgrade target; the diffed
+// plan applied to the live machine must be observationally identical to
+// a cold build of the target, and rolling it back must restore the base
+// observation with zero machine residue.
+
+// fuzzUnits is the component vocabulary: a source A, three pipeline
+// transforms with one export surface (V2 adds an initializer — the
+// lifecycle path), and a driver C.
+const fuzzUnits = `
+bundletype Svc = { get }
+
+unit A = {
+  exports [ out : Svc ];
+  initializer a_init for out;
+  files { "a.c" };
+  rename { out.get to out_get; };
+}
+unit V0 = {
+  imports [ in : Svc ];
+  exports [ out : Svc ];
+  depends { out needs in; };
+  files { "v0.c" };
+  rename { in.get to in_get; out.get to out_get; };
+}
+unit V1 = {
+  imports [ in : Svc ];
+  exports [ out : Svc ];
+  depends { out needs in; };
+  files { "v1.c" };
+  rename { in.get to in_get; out.get to out_get; };
+}
+unit V2 = {
+  imports [ in : Svc ];
+  exports [ out : Svc ];
+  initializer v2_init for out;
+  depends { out needs in; v2_init needs in; };
+  files { "v2.c" };
+  rename { in.get to in_get; out.get to out_get; };
+}
+unit C = {
+  imports [ in : Svc ];
+  exports [ c : Svc ];
+  depends { c needs in; };
+  files { "cdrv.c" };
+  rename { in.get to in_get; c.get to c_get; };
+}
+`
+
+var fuzzSources = link.Sources{
+	"a.c": `
+static int s;
+void a_init(void) { s = 3; }
+int out_get(void) { return s; }
+`,
+	"v0.c": `
+int in_get(void);
+int out_get(void) { return in_get() * 2 + 1; }
+`,
+	"v1.c": `
+int in_get(void);
+int out_get(void) { return in_get() * 3 + 7; }
+`,
+	"v2.c": `
+int in_get(void);
+static int state;
+void v2_init(void) { state = in_get() + 5; }
+int out_get(void) { return state * 2; }
+`,
+	"cdrv.c": `
+int in_get(void);
+int c_get(void) { return in_get(); }
+`,
+}
+
+// chainText wires A through len(vs) transform stages (variant vs[i]%3
+// at stage i) into C. Identical vs produce byte-identical unit text —
+// the NoOp case.
+func chainText(vs []byte) string {
+	var b strings.Builder
+	b.WriteString(fuzzUnits)
+	b.WriteString("unit Chain = {\n  exports [ c : Svc ];\n  link {\n    [s0] <- A <- [];\n")
+	prev := "s0"
+	for i, v := range vs {
+		slot := fmt.Sprintf("s%d", i+1)
+		fmt.Fprintf(&b, "    [%s] <- V%d <- [%s];\n", slot, v%3, prev)
+		prev = slot
+	}
+	fmt.Fprintf(&b, "    [c] <- C <- [%s];\n  };\n}\n", prev)
+	return b.String()
+}
+
+func clampStages(vs []byte) []byte {
+	if len(vs) > 4 {
+		vs = vs[:4]
+	}
+	return vs
+}
+
+func FuzzReconfigure(f *testing.F) {
+	// Seeds: no-op, single-stage swap, deep swap, lifecycle variant in
+	// and out, and depth changes in both directions.
+	f.Add([]byte{0}, []byte{0})
+	f.Add([]byte{0}, []byte{1})
+	f.Add([]byte{0, 1, 2}, []byte{2, 1, 0})
+	f.Add([]byte{1, 1}, []byte{1, 2})
+	f.Add([]byte{2, 0}, []byte{0, 0})
+	f.Add([]byte{0, 1}, []byte{0, 1, 2})
+	f.Add([]byte{0, 1, 2, 0}, []byte{0, 1})
+	f.Fuzz(func(t *testing.T, baseCfg, tgtCfg []byte) {
+		baseCfg, tgtCfg = clampStages(baseCfg), clampStages(tgtCfg)
+
+		res, err := build.Build(build.Options{
+			Top:       "Chain",
+			UnitFiles: map[string]string{"chain.unit": chainText(baseCfg)},
+			Sources:   fuzzSources,
+			Check:     true,
+		})
+		if err != nil {
+			t.Fatalf("base build %v: %v", baseCfg, err)
+		}
+		g, err := res.Export("c", "get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.NewMachine()
+		v0, err := res.Run(m, "c", "get")
+		if err != nil {
+			t.Fatalf("base run %v: %v", baseCfg, err)
+		}
+
+		plan, err := Diff(res, Target{
+			Top:       "Chain",
+			UnitFiles: map[string]string{"chain.unit": chainText(tgtCfg)},
+			Sources:   fuzzSources,
+			Check:     true,
+		})
+		if err != nil {
+			// A rejected plan is a legitimate outcome (the planner may
+			// refuse shapes it cannot rewire minimally) — but never for
+			// same-shape configurations, which always diff slot by slot.
+			if len(baseCfg) == len(tgtCfg) {
+				t.Fatalf("diff %v -> %v rejected: %v", baseCfg, tgtCfg, err)
+			}
+			t.Skip()
+		}
+
+		a, err := plan.Apply(m, nil)
+		if err != nil {
+			t.Fatalf("apply %v -> %v: %v", baseCfg, tgtCfg, err)
+		}
+		live, err := m.Run(g)
+		if err != nil {
+			t.Fatalf("upgraded run %v -> %v: %v", baseCfg, tgtCfg, err)
+		}
+
+		cold, err := build.Build(build.Options{
+			Top:       "Chain",
+			UnitFiles: map[string]string{"chain.unit": chainText(tgtCfg)},
+			Sources:   fuzzSources,
+			Check:     true,
+		})
+		if err != nil {
+			t.Fatalf("cold build %v: %v", tgtCfg, err)
+		}
+		want, err := cold.Run(cold.NewMachine(), "c", "get")
+		if err != nil {
+			t.Fatalf("cold run %v: %v", tgtCfg, err)
+		}
+		if live != want {
+			t.Fatalf("upgrade %v -> %v: live machine returns %d, cold build of target returns %d",
+				baseCfg, tgtCfg, live, want)
+		}
+
+		// And back: rollback must restore the base observation with zero
+		// machine residue.
+		a.Rollback()
+		if err := a.VerifyRolledBack(); err != nil {
+			t.Fatalf("rollback residue %v -> %v: %v", baseCfg, tgtCfg, err)
+		}
+		back, err := m.Run(g)
+		if err != nil {
+			t.Fatalf("post-rollback run: %v", err)
+		}
+		if back != v0 {
+			t.Fatalf("rollback %v -> %v: machine returns %d, base returned %d",
+				baseCfg, tgtCfg, back, v0)
+		}
+	})
+}

@@ -73,6 +73,19 @@ func (p *Policy) ForShard(shard int) *Policy {
 	return &cp
 }
 
+// ForCanary derives the trial policy a canary shard runs under while a
+// reconfiguration is being judged: one restart, no backoff sleeps, no
+// per-unit leniency. A regression introduced by the new wiring should
+// surface in the SLO window as traps and dead components, not be papered
+// over by patient restart budgets that out-wait the trial.
+func (p *Policy) ForCanary() *Policy {
+	return &Policy{
+		MaxRestarts:  1,
+		JitterSeed:   p.JitterSeed,
+		WatchdogFuel: p.WatchdogFuel,
+	}
+}
+
 func (p *Policy) restartsFor(unit string) int {
 	if o, ok := p.Units[unit]; ok && o.MaxRestarts != nil {
 		return *o.MaxRestarts

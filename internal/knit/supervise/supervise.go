@@ -153,6 +153,31 @@ func New(res *build.Result, m *machine.M, pol *Policy, clk Clock) *Supervisor {
 	}
 }
 
+// SetPolicy replaces the supervisor's policy (nil restores Default) and
+// reseeds the jitter source from the new policy. The canary controller
+// uses it to tighten a shard's policy for the duration of a trial and
+// restore the original afterwards; in-flight backoff state is untouched.
+func (s *Supervisor) SetPolicy(pol *Policy) {
+	if pol == nil {
+		pol = Default()
+	}
+	s.pol = pol
+	s.rng = rand.New(rand.NewSource(pol.JitterSeed))
+}
+
+// Policy returns the supervisor's current policy.
+func (s *Supervisor) Policy() *Policy { return s.pol }
+
+// Reset clears the supervisor's per-instance health book — failure
+// windows, backoff states, fallback aliases — as if supervision had just
+// begun. The decision log and recovery records are kept. Call it after a
+// snapshot rollback: the machine state the book described no longer
+// exists.
+func (s *Supervisor) Reset() {
+	s.states = map[string]*instState{}
+	s.alias = map[string]*instState{}
+}
+
 // Observe wires a metrics collector into the supervised system: the
 // collector (already attached to the supervisor's machine) starts
 // receiving the build layer's lifecycle events — init/fini steps,

@@ -258,6 +258,9 @@ func (m *M) LoadDynamicAs(name, owner string, o *obj.File) error {
 	// New definitions can satisfy call sites previously resolved to a
 	// builtin or to undefined; drop the compiled dispatch caches.
 	m.dispVersion++
+	if m.RewireHook != nil {
+		m.RewireHook("load", name, "")
+	}
 	return nil
 }
 
@@ -404,6 +407,9 @@ func (m *M) UnloadDynamic(name string) error {
 	// to identical code — their symbol addresses never move.
 	m.dynCompiled = nil
 	m.dispVersion++
+	if m.RewireHook != nil {
+		m.RewireHook("unload", name, "")
+	}
 	return nil
 }
 

@@ -1,5 +1,7 @@
 package machine
 
+import "fmt"
+
 // Snapshot is a restorable copy of a machine's mutable program state:
 // memory, stack pointer, the dynamic-module symbol tables, and the
 // interposition redirects. It deliberately excludes the performance
@@ -63,4 +65,55 @@ func (m *M) Restore(s *Snapshot) {
 	// recompile lazily against the restored tables.
 	m.dynCompiled = nil
 	m.dispVersion++
+}
+
+// StateEqual reports whether the machine's current program state matches
+// the snapshot, returning nil on a match and an error naming the first
+// divergence otherwise. It compares exactly what Restore would rewrite:
+// memory, stack pointer and limit, interposition redirects, and the set
+// of live dynamic modules. The reconfiguration layer uses it to certify
+// that a rollback left zero residue.
+func (m *M) StateEqual(s *Snapshot) error {
+	if len(m.Mem) != len(s.mem) {
+		return fmt.Errorf("memory size %d, snapshot has %d", len(m.Mem), len(s.mem))
+	}
+	for i := range m.Mem {
+		if m.Mem[i] != s.mem[i] {
+			return fmt.Errorf("memory word %d is %d, snapshot has %d", i, m.Mem[i], s.mem[i])
+		}
+	}
+	if m.sp != s.sp {
+		return fmt.Errorf("stack pointer %d, snapshot has %d", m.sp, s.sp)
+	}
+	if m.stackLimit != s.stackLimit {
+		return fmt.Errorf("stack limit %d, snapshot has %d", m.stackLimit, s.stackLimit)
+	}
+	if len(m.redirect) != len(s.redirect) {
+		return fmt.Errorf("%d interposition redirects, snapshot has %d", len(m.redirect), len(s.redirect))
+	}
+	for k, v := range m.redirect {
+		if sv, ok := s.redirect[k]; !ok || sv != v {
+			return fmt.Errorf("redirect %q -> %q, snapshot has %q -> %q", k, v, k, sv)
+		}
+	}
+	var live, want []string
+	if m.dyn != nil {
+		for _, mod := range m.dyn.modules {
+			live = append(live, mod.name)
+		}
+	}
+	if s.dyn != nil {
+		for _, mod := range s.dyn.modules {
+			want = append(want, mod.name)
+		}
+	}
+	if len(live) != len(want) {
+		return fmt.Errorf("live dynamic modules %v, snapshot has %v", live, want)
+	}
+	for i := range live {
+		if live[i] != want[i] {
+			return fmt.Errorf("dynamic module %d is %q, snapshot has %q", i, live[i], want[i])
+		}
+	}
+	return nil
 }

@@ -193,6 +193,145 @@ func TestSharedImageConcurrentCompiledMachines(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSharedImageInterposeUnderLoad is the live-reconfiguration
+// regression net: one canary machine churns the full upgrade cycle —
+// dynamic load, interpose, re-interpose, unpose, unload, snapshot
+// restore, with the rewire hook armed — while sibling machines on both
+// backends serve calls off the same image. Run with -race. The
+// siblings' counters and dispatch results must never see the canary's
+// churn, and the canary must end every cycle clean.
+func TestSharedImageInterposeUnderLoad(t *testing.T) {
+	f := fileWith(
+		buildFunc("bump", 0, 3, 0, []obj.Instr{
+			{Op: obj.OpAddrGlobal, Dst: 1, Sym: "counter", A: obj.NoReg},
+			{Op: obj.OpLoad, Dst: 2, A: 1},
+			{Op: obj.OpConst, Dst: 0, Imm: 1},
+			{Op: obj.OpBin, Dst: 2, A: 2, B: 0, Tok: int(cmini.PLUS)},
+			{Op: obj.OpStore, A: 1, B: 2},
+			{Op: obj.OpRet, A: 2, HasVal: true},
+		}),
+		buildFunc("orig", 0, 1, 0, []obj.Instr{
+			{Op: obj.OpConst, Dst: 0, Imm: 1},
+			{Op: obj.OpRet, A: 0, HasVal: true},
+		}),
+		buildFunc("caller", 0, 1, 0, []obj.Instr{
+			{Op: obj.OpCall, Dst: 0, Sym: "orig", A: obj.NoReg},
+			{Op: obj.OpRet, A: 0, HasVal: true},
+		}),
+	)
+	f.Datas["counter"] = &obj.Data{Name: "counter", Size: 1,
+		Init: []obj.DataInit{{Kind: obj.InitConst, Val: 0}}}
+	f.AddSym(&obj.Symbol{Name: "counter", Kind: obj.SymData, Defined: true})
+
+	img, err := Load(f, DefaultCosts())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	const siblings, rounds, churns = 6, 300, 120
+	var wg sync.WaitGroup
+
+	// The canary: churn upgrade cycles as the reconfigure layer would —
+	// each cycle loads a fresh module, anchors a redirect on the shared
+	// symbol, overrides it with a second module (exercising redirect
+	// path compression), then rolls the whole cycle back via Restore and
+	// verifies zero residue against the pre-cycle snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m := New(img)
+		m.SetBackend(BackendCompiled)
+		hooks := 0
+		m.RewireHook = func(op, sym, target string) { hooks++ }
+		snap := m.Snapshot()
+		for c := 0; c < churns; c++ {
+			modFor := func(name string, val int64) *obj.File {
+				mod := obj.NewFile(name)
+				mod.Funcs[name] = &obj.Func{Name: name, NArgs: 0, NRegs: 1, Code: []obj.Instr{
+					{Op: obj.OpConst, Dst: 0, Imm: val},
+					{Op: obj.OpRet, A: 0, HasVal: true},
+				}}
+				mod.AddSym(&obj.Symbol{Name: name, Kind: obj.SymFunc, Defined: true})
+				return mod
+			}
+			if err := m.LoadDynamicAs("v1", "v1", modFor("repl1", int64(1000+c))); err != nil {
+				t.Errorf("churn %d: load v1: %v", c, err)
+				return
+			}
+			if err := m.Interpose("orig", "repl1"); err != nil {
+				t.Errorf("churn %d: interpose v1: %v", c, err)
+				return
+			}
+			if v, err := m.Run("caller"); err != nil || v != int64(1000+c) {
+				t.Errorf("churn %d: caller via v1 = %d, %v; want %d", c, v, err, 1000+c)
+				return
+			}
+			// Second upgrade overrides the first; path compression must
+			// re-point the redirect so v1 unloads cleanly.
+			if err := m.LoadDynamicAs("v2", "v2", modFor("repl2", int64(2000+c))); err != nil {
+				t.Errorf("churn %d: load v2: %v", c, err)
+				return
+			}
+			if err := m.Interpose("repl1", "repl2"); err != nil {
+				t.Errorf("churn %d: interpose v2: %v", c, err)
+				return
+			}
+			if err := m.UnloadDynamic("v1"); err != nil {
+				t.Errorf("churn %d: unload v1: %v", c, err)
+				return
+			}
+			if v, err := m.Run("caller"); err != nil || v != int64(2000+c) {
+				t.Errorf("churn %d: caller via v2 = %d, %v; want %d", c, v, err, 2000+c)
+				return
+			}
+			m.Restore(snap)
+			if err := m.StateEqual(snap); err != nil {
+				t.Errorf("churn %d: residue after rollback: %v", c, err)
+				return
+			}
+			if v, err := m.Run("caller"); err != nil || v != 1 {
+				t.Errorf("churn %d: post-rollback caller = %d, %v; want 1", c, v, err)
+				return
+			}
+			// Running caller dirties the stack tracking; re-snapshot so the
+			// next cycle's residue check compares like with like.
+			snap = m.Snapshot()
+		}
+		if hooks == 0 {
+			t.Error("canary: rewire hook never fired during churn")
+		}
+	}()
+
+	// The siblings: serve steadily off the same image, no interposition.
+	// Their counters count only their own calls and their dispatch of
+	// "orig" never changes.
+	for i := 0; i < siblings; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := New(img)
+			if id%2 == 0 {
+				m.SetBackend(BackendCompiled)
+			}
+			for r := 0; r < rounds; r++ {
+				if v, err := m.Run("caller"); err != nil || v != 1 {
+					t.Errorf("sibling %d round %d: caller = %d, %v; want 1", id, r, v, err)
+					return
+				}
+				if _, err := m.Run("bump"); err != nil {
+					t.Errorf("sibling %d round %d: bump: %v", id, r, err)
+					return
+				}
+			}
+			if v, err := m.Run("bump"); err != nil || v != rounds+1 {
+				t.Errorf("sibling %d: counter = %d, %v; want %d (canary churn bled across machines?)",
+					id, v, err, rounds+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
 // TestSharedImageFreshMachineSeesInitData pins the other half of the
 // contract: New copies initMem, so a machine that scribbled on its
 // globals never leaks into a sibling created later from the same image.
