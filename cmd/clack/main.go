@@ -35,6 +35,9 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "with -supervise, print the per-instance observability report (each soak run dumps periodically)")
 		shards     = flag.Int("shards", 0, "serve through a fleet of N shards behind the flow-hash balancer (0 = single machine)")
 		upgrade    = flag.Bool("upgrade", false, "with -shards, live-upgrade the classifiers mid-stream via canary rollout")
+		overloadF  = flag.Bool("overload", false, "with -shards, run the overload soak: open-loop traffic at -multiple x measured capacity with admission control, breakers, re-steering, and redelivery")
+		multiple   = flag.Float64("multiple", 3, "with -overload, offered load as a multiple of measured capacity")
+		killEvery  = flag.Int("kill-every", 50, "with -overload, kill the serving shard every N processed packets (0 = none)")
 		canaryN    = flag.Int("canary", 1, "with -upgrade, number of canary shards")
 		badCanary  = flag.Bool("bad-canary", false, "with -upgrade, trial the injected-regression classifier; the run must end in a verified rollback")
 		backendF   = flag.String("backend", "", "execution backend: interp (reference, default) or compiled (closure-compiled; cycle columns exclude i-fetch stalls)")
@@ -49,6 +52,10 @@ func main() {
 	if *shards > 0 {
 		if *upgrade {
 			runFleetUpgrade(*shards, *packets, *canaryN, *badCanary, *metrics, backend)
+			return
+		}
+		if *overloadF {
+			runOverload(*shards, *packets, *multiple, *killEvery, backend)
 			return
 		}
 		runFleet(*shards, *packets, *faultEvery, *metrics, backend)
@@ -186,6 +193,64 @@ func runFleet(shards, packets, faultEvery int, metrics bool, backend machine.Bac
 	if metrics && rep.Metrics != nil {
 		fmt.Println("clack fleet metrics (all shards merged):")
 		rep.Metrics.Format(os.Stdout)
+	}
+}
+
+// runOverload is the overload-control drill: measure the fleet's
+// closed-loop capacity, then offer a multiple of it open-loop while a
+// shard is killed on schedule. The overload layer must shed honestly
+// (conservation balances exactly), finish everything it admitted
+// (accepted goodput >= 0.99), recover every killed batch via
+// redelivery (0 drops), and hold per-flow order through every re-steer
+// (the fleet-global oracle sees 0 inversions). Each bound is the exit
+// status for the CI soak leg; supervision must also leak no goroutines.
+func runOverload(shards, packets int, multiple float64, killEvery int, backend machine.Backend) {
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	res.Backend = backend
+	baseline := runtime.NumGoroutine()
+	rep, err := clack.ServeOverload(res, clack.OverloadSpec{
+		Packets:   packets,
+		Flows:     64,
+		Shards:    shards,
+		Multiple:  multiple,
+		KillEvery: killEvery,
+		Redeliver: 3,
+		Seed:      1,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("clack overload: %d shards, %d offered at %.1fx capacity (%.0f -> %.0f pps), kill every %d\n",
+		rep.Shards, rep.Submitted, multiple, rep.CapacityPPS, rep.OfferedPPS, killEvery)
+	fmt.Printf("  admitted %d, served %d, dropped %d, redelivered %d, shed [high %d, normal %d, low %d]\n",
+		rep.Admitted, rep.Served, rep.Dropped, rep.Redelivered,
+		rep.Shed[0], rep.Shed[1], rep.Shed[2])
+	fmt.Printf("  accepted goodput %.4f, shed fraction %.4f, p99 %d cycles\n",
+		rep.AcceptedGoodput, rep.ShedFraction, rep.P99Cycles)
+	fmt.Printf("  respawns %d, trips %d, resteers %d, returns %d, order violations %d\n",
+		rep.Respawns, rep.Stats.Trips, rep.Stats.Resteers, rep.Stats.Returns, rep.OrderViolations)
+	if !rep.ConservationOK {
+		fail(fmt.Errorf("conservation broken: submitted %d != served %d + dropped %d + shed %d",
+			rep.Submitted, rep.Served, rep.Dropped, rep.ShedTotal))
+	}
+	if rep.AcceptedGoodput < 0.99 {
+		fail(fmt.Errorf("accepted goodput %.4f, want >= 0.99", rep.AcceptedGoodput))
+	}
+	if rep.OrderViolations != 0 {
+		fail(fmt.Errorf("%d per-flow order violations under overload", rep.OrderViolations))
+	}
+	if killEvery > 0 && rep.Dropped != 0 {
+		fail(fmt.Errorf("%d batches dropped; transient kills with redelivery must recover all", rep.Dropped))
+	}
+	if killEvery > 0 && rep.Respawns == 0 {
+		fail(fmt.Errorf("soak too tame: no respawns with kill-every %d", killEvery))
+	}
+	runtime.GC()
+	if g := runtime.NumGoroutine(); g > baseline {
+		fail(fmt.Errorf("goroutine leak: %d before overload run, %d after", baseline, g))
 	}
 }
 

@@ -78,6 +78,83 @@ type FleetBench struct {
 	CalibNs           int64   `json:"calib_ns"`
 }
 
+// OverloadBench is BENCH_overload.json: the overload soak's quality
+// envelope at 3x measured capacity with a shard killed every 50
+// packets. AcceptedGoodput and the zero-violation invariants are
+// asserted at measurement time; the gate re-checks goodput as a hard
+// floor and compares capacity (calibration units) and the p99 cycle
+// bucket against the baseline. ShedFraction is self-normalizing — the
+// offered rate scales with the measured capacity — and gets a hard
+// ceiling rather than a baseline-relative band.
+type OverloadBench struct {
+	Bench           string  `json:"bench"`
+	Backend         string  `json:"backend"`
+	Packets         int     `json:"packets"`
+	CapacityPPS     float64 `json:"capacity_pps"`
+	AcceptedGoodput float64 `json:"accepted_goodput"`
+	ShedFraction    float64 `json:"shed_fraction"`
+	P99Cycles       int64   `json:"p99_cycles"`
+	CalibNs         int64   `json:"calib_ns"`
+}
+
+// measureOverload runs the overload soak once and asserts on the spot
+// the properties that make the numbers meaningful: exact conservation,
+// zero per-flow order violations, zero drops (transient kills with
+// redelivery), and actual chaos (respawns happened).
+func measureOverload(packets int, backend machine.Backend) *OverloadBench {
+	res, err := clack.BuildRouter(clack.Variant{})
+	if err != nil {
+		fail(err)
+	}
+	res.Backend = backend
+	rep, err := clack.ServeOverload(res, clack.OverloadSpec{
+		Packets:   packets,
+		Flows:     64,
+		Shards:    3,
+		Multiple:  3,
+		KillEvery: 50,
+		Redeliver: 3,
+		Seed:      1,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if !rep.ConservationOK {
+		fail(fmt.Errorf("overload bench: conservation broken (submitted %d, served %d, dropped %d, shed %d)",
+			rep.Submitted, rep.Served, rep.Dropped, rep.ShedTotal))
+	}
+	if rep.OrderViolations != 0 {
+		fail(fmt.Errorf("overload bench: %d per-flow order violations", rep.OrderViolations))
+	}
+	if rep.Dropped != 0 {
+		fail(fmt.Errorf("overload bench: %d batches dropped despite redelivery", rep.Dropped))
+	}
+	if rep.Respawns == 0 {
+		fail(fmt.Errorf("overload bench: no respawns — the soak exercised nothing"))
+	}
+	return &OverloadBench{
+		Bench:           "overload",
+		Backend:         backend.String(),
+		Packets:         packets,
+		CapacityPPS:     rep.CapacityPPS,
+		AcceptedGoodput: rep.AcceptedGoodput,
+		ShedFraction:    rep.ShedFraction,
+		P99Cycles:       rep.P99Cycles,
+		CalibNs:         calibrate(),
+	}
+}
+
+// runOverloadBench is knitbench -overload: print the soak's quality
+// envelope for the current host, on the backend chosen with -backend.
+func runOverloadBench(packets int, backend machine.Backend) {
+	fmt.Println("== Overload soak: 3x capacity, kill every 50, admission + breakers + redelivery ==")
+	ob := measureOverload(packets, backend)
+	fmt.Printf("   %d packets, %s backend, capacity %.0f pps (host calib %v)\n",
+		ob.Packets, ob.Backend, ob.CapacityPPS, time.Duration(ob.CalibNs))
+	fmt.Printf("   accepted goodput %.4f (floor 0.99), shed fraction %.4f, p99 %d cycles\n\n",
+		ob.AcceptedGoodput, ob.ShedFraction, ob.P99Cycles)
+}
+
 // measureFleet benchmarks sharded serving at 1, 2, and 4 shards over
 // the same flow traffic (fastest of benchRounds each), asserting on
 // every run the properties the fleet exists to provide: full packet
@@ -307,10 +384,12 @@ func runJSON(outDir string, packets int) {
 	rb := measureRouter(packets)
 	bb := measureBuildTime()
 	fb := measureFleet(packets, machine.BackendInterp)
+	ob := measureOverload(packets, machine.BackendInterp)
 	writeBench(filepath.Join(outDir, "BENCH_router.json"), rb)
 	writeBench(filepath.Join(outDir, "BENCH_buildtime.json"), bb)
 	writeBench(filepath.Join(outDir, "BENCH_fleet.json"), fb)
-	fmt.Printf("knitbench: wrote BENCH_router.json, BENCH_buildtime.json, BENCH_fleet.json in %s\n", outDir)
+	writeBench(filepath.Join(outDir, "BENCH_overload.json"), ob)
+	fmt.Printf("knitbench: wrote BENCH_router.json, BENCH_buildtime.json, BENCH_fleet.json, BENCH_overload.json in %s\n", outDir)
 	fmt.Printf("  router: %.0f cycles/packet, %.0f packets/sec, observe overhead %+.2f%%\n",
 		rb.CyclesPerPacket, rb.PacketsPerSec, rb.ObserveOverheadPct)
 	fmt.Printf("  router compiled: %.0f cycles/packet (no fetch model), %.0f packets/sec (x%.2f vs interp)\n",
@@ -320,6 +399,8 @@ func runJSON(outDir string, packets int) {
 		time.Duration(bb.ParallelNs), bb.CacheHits, bb.CompileJobs)
 	fmt.Printf("  fleet: %.0f pps @1 shard, %.0f @2, %.0f @4 (efficiency %.2f, GOMAXPROCS %d)\n",
 		fb.PPS1, fb.PPS2, fb.PPS4, fb.ScalingEfficiency, fb.GoMaxProcs)
+	fmt.Printf("  overload: capacity %.0f pps, goodput %.4f, shed %.4f, p99 %d cycles\n",
+		ob.CapacityPPS, ob.AcceptedGoodput, ob.ShedFraction, ob.P99Cycles)
 }
 
 func writeBench(path string, v any) {
@@ -353,9 +434,11 @@ func runGate(baseDir string, tol float64, packets int) {
 	baseR := readBench[RouterBench](filepath.Join(baseDir, "BENCH_router.json"))
 	baseB := readBench[BuildTimeBench](filepath.Join(baseDir, "BENCH_buildtime.json"))
 	baseF := readBench[FleetBench](filepath.Join(baseDir, "BENCH_fleet.json"))
+	baseO := readBench[OverloadBench](filepath.Join(baseDir, "BENCH_overload.json"))
 	rb := measureRouter(packets)
 	bb := measureBuildTime()
 	fb := measureFleet(packets, machine.BackendInterp)
+	ob := measureOverload(packets, machine.BackendInterp)
 
 	var failures []string
 	check := func(name string, current, baseline float64, lowerIsBetter bool) {
@@ -426,6 +509,26 @@ func runGate(baseDir string, tol float64, packets int) {
 			100*(fb.ScalingEfficiency/baseF.ScalingEfficiency-1))
 	} else {
 		check("fleet scaling efficiency", fb.ScalingEfficiency, baseF.ScalingEfficiency, false)
+	}
+
+	// Overload soak. Accepted goodput is a hard floor, not
+	// baseline-relative: the overload layer's contract is finishing what
+	// it admits, on any host. Capacity rides the same calibration
+	// normalization as the other throughput legs; the p99 cycle bucket is
+	// simulated and compares directly. Shed fraction gets a hard ceiling —
+	// offered load scales with measured capacity, so the fraction is
+	// self-normalizing, and the conservation/order/drop invariants were
+	// already asserted inside the measurement.
+	fmt.Printf("  %-28s floor %19.2f  current %12.4f\n", "overload accepted goodput", 0.99, ob.AcceptedGoodput)
+	if ob.AcceptedGoodput < 0.99 {
+		failures = append(failures, "overload accepted goodput below 0.99")
+	}
+	check("overload capacity (calib)",
+		ob.CapacityPPS*float64(ob.CalibNs)/1e9, baseO.CapacityPPS*float64(baseO.CalibNs)/1e9, false)
+	check("overload p99 cycles", float64(ob.P99Cycles), float64(baseO.P99Cycles), true)
+	fmt.Printf("  %-28s ceiling %17.2f  current %12.4f\n", "overload shed fraction", 0.5, ob.ShedFraction)
+	if ob.ShedFraction > 0.5 {
+		failures = append(failures, "overload shed fraction above 0.5")
 	}
 
 	if len(failures) > 0 {

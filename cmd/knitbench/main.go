@@ -41,6 +41,7 @@ func main() {
 		recovery  = flag.Bool("recovery", false, "fault-to-restored-service latency, restart vs fallback swap")
 		observeF  = flag.Bool("observe", false, "observability overhead: clack router with a metrics collector attached vs not")
 		fleetF    = flag.Bool("fleet", false, "sharded serving scaling curve: pps at 1, 2, and 4 shards")
+		overloadB = flag.Bool("overload", false, "overload soak quality envelope: goodput, shed fraction, p99 at 3x capacity with shard kills")
 		jsonOut   = flag.Bool("json", false, "write BENCH_router.json and BENCH_buildtime.json (see -out) and exit")
 		outDir    = flag.String("out", ".", "with -json, output directory for the BENCH_*.json files")
 		gateDir   = flag.String("gate", "", "compare fresh measurements against the BENCH_*.json baselines in this directory and fail on regression")
@@ -69,6 +70,10 @@ func main() {
 	}
 	if *fleetF {
 		runFleetBench(*packets, backend)
+		return
+	}
+	if *overloadB {
+		runOverloadBench(*packets, backend)
 		return
 	}
 	all := !(*table1 || *table2 || *micro || *census || *buildtime || *fig1c || *ablations || *recovery)

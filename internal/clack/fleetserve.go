@@ -126,7 +126,11 @@ type shardIO struct {
 	stats DeviceStats
 	// lastSeq tracks the highest sequence transmitted per flow; a
 	// transmit at or below it is an ordering violation.
-	lastSeq         map[int64]int64
+	lastSeq map[int64]int64
+	// oracle, when set, replaces lastSeq with a fleet-global order check
+	// that survives respawns and follows a flow across a re-steer — the
+	// overload rig's end-to-end ordering proof.
+	oracle          *orderOracle
 	orderViolations int
 	faults          int
 	calls           int
@@ -177,10 +181,16 @@ func installShardDevices(m *machine.M, io *shardIO) {
 		}
 		flow := mm.Mem[addr+6+payloadFlowWord]
 		seq := mm.Mem[addr+6+payloadSeqWord]
-		if seq <= io.lastSeq[flow] {
-			io.orderViolations++
+		if io.oracle != nil {
+			if !io.oracle.check(flow, seq) {
+				io.orderViolations++
+			}
+		} else {
+			if seq <= io.lastSeq[flow] {
+				io.orderViolations++
+			}
+			io.lastSeq[flow] = seq
 		}
-		io.lastSeq[flow] = seq
 		return 0, nil
 	})
 	m.RegisterBuiltin("__drop", func(mm *machine.M, args []int64) (int64, error) {

@@ -1,0 +1,340 @@
+package clack
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/fleet"
+	"knit/internal/knit/observe"
+	"knit/internal/knit/overload"
+	"knit/internal/knit/supervise"
+	"knit/internal/machine"
+)
+
+// This file is the overload soak: an open-loop generator offers the
+// fleet a multiple of its measured capacity while a shard is killed
+// every KillEvery packets, and the overload layer has to keep the
+// accepted traffic flowing — admission control sheds by class, the
+// killed shard's breaker trips and its flows re-steer, redelivery
+// replays the in-flight batch on each respawn, and a fleet-global
+// order oracle proves per-flow order held through all of it.
+
+// OverloadSpec shapes an overload soak.
+type OverloadSpec struct {
+	Packets   int     // offered packets in the open-loop phase
+	Flows     int     // distinct flow keys
+	Shards    int     // fleet width
+	Multiple  float64 // offered load as a multiple of measured capacity (default 3)
+	KillEvery int     // kill the serving shard every N processed packets (0 = none)
+	Redeliver int     // fleet RedeliverAttempts (0 = at-most-once)
+	Seed      int64
+}
+
+// OverloadReport is the soak's ledger. AcceptedGoodput is served over
+// admitted — of the traffic the fleet accepted, how much it actually
+// finished; shed traffic was refused honestly at the door and does not
+// count against it.
+type OverloadReport struct {
+	Shards      int
+	CapacityPPS float64 // measured closed-loop, packets/sec
+	OfferedPPS  float64 // CapacityPPS * Multiple
+
+	Submitted   uint64
+	Admitted    uint64
+	Served      uint64
+	Dropped     uint64 // fleet-level batch losses (redelivery exhausted)
+	Redelivered uint64
+	Shed        [overload.NumClasses]uint64
+	ShedTotal   uint64
+
+	AcceptedGoodput float64 // Served / Admitted
+	ShedFraction    float64 // ShedTotal / Submitted
+	P99Cycles       int64   // per-call cycle p99 from the merged fleet report
+
+	OrderViolations int // fleet-global per-flow sequence inversions
+	Respawns        int
+	Stats           overload.Stats
+
+	// ConservationOK: submitted == served + dropped + shed exactly.
+	ConservationOK bool
+
+	Rx, Tx, RouterDropped int // device-level accounting (drops here are router policy, not losses)
+}
+
+// orderOracle is the fleet-global per-flow order check: one monotonic
+// sequence ledger shared by every shard's __tx builtin, surviving
+// respawns and re-steers. Mutexed — shard goroutines transmit
+// concurrently.
+type orderOracle struct {
+	mu         sync.Mutex
+	lastSeq    map[int64]int64
+	violations int
+}
+
+func (o *orderOracle) check(flow, seq int64) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ok := seq > o.lastSeq[flow]
+	if !ok {
+		o.violations++
+	}
+	o.lastSeq[flow] = seq
+	return ok
+}
+
+func (o *orderOracle) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.violations
+}
+
+// overloadRig is the host side of an overload soak. Unlike serveRig's
+// batch-at-once handler, it serves packet by packet and acks each one,
+// so a kill mid-batch loses nothing recoverable: the unacked remainder
+// is journaled by the fleet and replayed onto the respawned machine.
+type overloadRig struct {
+	ios    []*shardIO
+	totals []ShardServeStats
+	oracle *orderOracle
+
+	processed atomic.Int64 // packets fully served, fleet-wide
+	nextKill  atomic.Int64
+	killEvery int64
+}
+
+var errShardKilled = fmt.Errorf("clack: overload soak killed this shard")
+
+func newOverloadRig(shards, killEvery int) *overloadRig {
+	rg := &overloadRig{
+		ios:       make([]*shardIO, shards),
+		totals:    make([]ShardServeStats, shards),
+		oracle:    &orderOracle{lastSeq: map[int64]int64{}},
+		killEvery: int64(killEvery),
+	}
+	rg.nextKill.Store(int64(killEvery))
+	return rg
+}
+
+func (rg *overloadRig) retire(id int) {
+	io := rg.ios[id]
+	if io == nil {
+		return
+	}
+	rg.totals[id].Rx += io.stats.Rx[0] + io.stats.Rx[1]
+	rg.totals[id].Tx += io.stats.Tx[0] + io.stats.Tx[1]
+	rg.totals[id].Dropped += io.stats.Dropped
+	rg.totals[id].Faults += io.faults
+	rg.totals[id].Calls += io.calls
+	rg.totals[id].OrderViolations += io.orderViolations
+}
+
+func (rg *overloadRig) setup(id int, m *machine.M) error {
+	machine.InstallStopWatch(m)
+	if id == fleet.Prototype {
+		installShardDevices(m, &shardIO{lastSeq: map[int64]int64{}})
+		return nil
+	}
+	rg.retire(id)
+	rg.ios[id] = &shardIO{oracle: rg.oracle}
+	installShardDevices(m, rg.ios[id])
+	return nil
+}
+
+// handler serves one packet at a time, acking each, and pulls the kill
+// lever between packets: whichever shard crosses the fleet-wide
+// processed-count threshold dies, transiently — its machine is gone,
+// but the unacked remainder replays on the respawn, and the device
+// queues are empty between packets, so the recoverable path drops
+// nothing.
+func (rg *overloadRig) handler(sh *fleet.Shard[FlowPacket], batch []FlowPacket) error {
+	io := rg.ios[sh.ID]
+	for i, fp := range batch {
+		if rg.killEvery > 0 {
+			next := rg.nextKill.Load()
+			if rg.processed.Load() >= next && rg.nextKill.CompareAndSwap(next, next+rg.killEvery) {
+				return errShardKilled
+			}
+		}
+		lane := fleet.FlowLane(fp.Flow, 2)
+		io.rx[lane] = append(io.rx[lane], fp.Pkt)
+		limit := io.calls + 68 // mirrors serveRig's 4-per-packet + 64 bound
+		for io.remaining() > 0 {
+			if io.calls >= limit {
+				return fmt.Errorf("no progress after %d kmain calls (%d packets stuck)",
+					limit, io.remaining())
+			}
+			io.calls++
+			if _, err := sh.Sup.Call("main", "kmain", 1); err != nil {
+				io.faults++
+			}
+		}
+		sh.Ack(i + 1)
+		rg.processed.Add(1)
+	}
+	return nil
+}
+
+// classOf assigns deterministic priority classes by flow key: 20% High,
+// 60% Normal, 20% Low.
+func classOf(flow uint64) overload.Class {
+	switch flow % 10 {
+	case 0, 1:
+		return overload.High
+	case 8, 9:
+		return overload.Low
+	default:
+		return overload.Normal
+	}
+}
+
+// measureCapacity runs a short closed-loop burst through a throwaway
+// fleet of the same shape (no kills, no controller) and returns the
+// sustained packets/sec — the capacity the open-loop phase multiplies.
+func measureCapacity(res *build.Result, spec OverloadSpec, pkts []FlowPacket) (float64, error) {
+	rg := newOverloadRig(spec.Shards, 0)
+	fl, err := fleet.New[FlowPacket](res, fleet.Config{
+		Shards: spec.Shards,
+		Setup:  rg.setup,
+	}, rg.handler)
+	if err != nil {
+		return 0, err
+	}
+	n := len(pkts) / 4
+	if n < 256 {
+		n = 256
+	}
+	if n > len(pkts) {
+		n = len(pkts)
+	}
+	start := time.Now()
+	for _, fp := range pkts[:n] {
+		if err := fl.Submit(fp.Flow, fp); err != nil {
+			return 0, err
+		}
+	}
+	if err := fl.Close(); err != nil {
+		return 0, fmt.Errorf("clack: capacity run: %w", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+// ServeOverload runs the overload soak: measure capacity closed-loop,
+// then offer Multiple times that rate open-loop through the overload
+// controller while shards are killed on schedule.
+func ServeOverload(res *build.Result, spec OverloadSpec) (*OverloadReport, error) {
+	if spec.Shards < 2 {
+		return nil, fmt.Errorf("clack: overload soak needs >= 2 shards (re-steering needs a sibling), got %d", spec.Shards)
+	}
+	if spec.Multiple <= 0 {
+		spec.Multiple = 3
+	}
+	fspec := FlowSpec{Packets: spec.Packets, Flows: spec.Flows, Skew: 1.05, Seed: spec.Seed}
+	if fspec.Flows < 1 {
+		fspec.Flows = 64
+	}
+	pkts := fspec.Generate()
+
+	capacity, err := measureCapacity(res, spec, pkts)
+	if err != nil {
+		return nil, err
+	}
+	offered := capacity * spec.Multiple
+
+	rg := newOverloadRig(spec.Shards, spec.KillEvery)
+	fl, err := fleet.New[FlowPacket](res, fleet.Config{
+		Shards:            spec.Shards,
+		RedeliverAttempts: spec.Redeliver,
+		Setup:             rg.setup,
+	}, rg.handler)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := overload.NewController(fl, overload.Config{
+		SLO:       observe.SLO{MinCalls: 16, Windows: 4, PromoteAfter: 2},
+		TripAfter: 2,
+		CoolTicks: 4,
+		MaxRemaps: 32,
+		ParkCap:   256,
+	})
+
+	// Open loop: each packet has a wall-clock slot at the offered rate;
+	// the generator never waits for the fleet, only for the clock. High
+	// traffic gets a small deadline budget, everything else must fit or
+	// shed.
+	interval := time.Duration(float64(time.Second) / offered)
+	tickEvery := len(pkts) / 64
+	if tickEvery < 16 {
+		tickEvery = 16
+	}
+	start := time.Now()
+	for i, fp := range pkts {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		class := classOf(fp.Flow)
+		if class == overload.High {
+			ctrl.SubmitDeadline(fp.Flow, class, fp, time.Now().Add(2*time.Millisecond))
+		} else {
+			ctrl.TrySubmit(fp.Flow, class, fp)
+		}
+		if (i+1)%tickEvery == 0 {
+			ctrl.Tick()
+		}
+	}
+	// Settle: let barriers drain and breakers close, then stop.
+	for i := 0; i < 8; i++ {
+		ctrl.Tick()
+		time.Sleep(time.Millisecond)
+	}
+	ctrl.Drain(time.Now().Add(10 * time.Second))
+	closeErr := fl.Close()
+	if closeErr != nil && spec.KillEvery == 0 {
+		return nil, closeErr // with kills, shard errors are the point
+	}
+
+	st := ctrl.Stats()
+	rep := &OverloadReport{
+		Shards:      spec.Shards,
+		CapacityPPS: capacity,
+		OfferedPPS:  offered,
+		Submitted:   st.Submitted,
+		Admitted:    st.Admitted,
+		Shed:        st.Shed,
+		ShedTotal:   st.ShedTotal,
+		Stats:       st,
+	}
+	for id, sh := range fl.Shards() {
+		rg.retire(id)
+		rg.ios[id] = nil
+		rep.Served += sh.Served()
+		rep.Dropped += sh.Dropped()
+		rep.Redelivered += sh.Redelivered()
+		rep.Respawns += sh.Respawns()
+		rep.Rx += rg.totals[id].Rx
+		rep.Tx += rg.totals[id].Tx
+		rep.RouterDropped += rg.totals[id].Dropped
+	}
+	rep.OrderViolations = rg.oracle.count()
+	if rep.Admitted > 0 {
+		rep.AcceptedGoodput = float64(rep.Served) / float64(rep.Admitted)
+	}
+	if rep.Submitted > 0 {
+		rep.ShedFraction = float64(rep.ShedTotal) / float64(rep.Submitted)
+	}
+	totals := fl.Report().Totals()
+	rep.P99Cycles = totals.P99()
+	rep.ConservationOK = rep.Submitted == rep.Served+rep.Dropped+rep.ShedTotal &&
+		rep.Admitted == rep.Served+rep.Dropped
+	return rep, nil
+}
+
+// NewOverloadFleetPolicy exists for symmetry with the other serving
+// modes: the soak uses the default decorrelated policy per shard.
+func NewOverloadFleetPolicy() *supervise.Policy { return supervise.Default() }

@@ -3,6 +3,9 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"knit/internal/knit/build"
 	"knit/internal/knit/observe"
@@ -17,6 +20,10 @@ import (
 // for the prototype is discarded with it.
 const Prototype = -1
 
+// ErrClosed is returned by submissions after Close; each such attempt
+// is also counted in ShedAfterClose.
+var ErrClosed = errors.New("fleet: submit after Close")
+
 // Config shapes a fleet. The zero value of every optional field has a
 // usable default; only Shards is mandatory.
 type Config struct {
@@ -28,8 +35,17 @@ type Config struct {
 	// submission order within its shard's batches.
 	Batch int
 	// Queue is the per-shard queue depth in batches (default 8). A full
-	// queue blocks Submit — backpressure, not drops.
+	// queue blocks Submit — backpressure, not drops. Producers that must
+	// not stall on one sick shard use TrySubmit / SubmitShardDeadline
+	// instead and shed on refusal (the overload layer's admission path).
 	Queue int
+	// RedeliverAttempts is the in-flight batch redelivery policy applied
+	// when a handler failure kills a shard's machine: 0 (at-most-once,
+	// the default) drops the batch's unacked remainder with the dead
+	// machine; N > 0 replays the remainder onto the respawned machine up
+	// to N times before dropping it. Handlers report progress with
+	// Shard.Ack so a replay never re-serves completed items.
+	RedeliverAttempts int
 	// Policy is the restart policy template; each shard gets its own
 	// decorrelated copy via Policy.ForShard. Default supervise.Default().
 	Policy *supervise.Policy
@@ -54,6 +70,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Queue <= 0 {
 		c.Queue = 8
 	}
+	if c.RedeliverAttempts < 0 {
+		return c, fmt.Errorf("fleet: RedeliverAttempts must be >= 0, got %d", c.RedeliverAttempts)
+	}
 	if c.Policy == nil {
 		c.Policy = supervise.Default()
 	}
@@ -70,13 +89,21 @@ func (c Config) withDefaults() (Config, error) {
 // may have restarted or swapped components along the way). A non-nil
 // return means the shard's machine is beyond the supervisor's recovery
 // — the fleet retires its ledger and respawns it from the shared
-// snapshot; the batch itself is lost (counted in Dropped).
+// snapshot. What happens to the batch is the redelivery policy's call:
+// with Config.RedeliverAttempts > 0 its unacked remainder is journaled
+// and replayed onto the respawned machine; otherwise the remainder is
+// dropped (counted in Dropped). Handlers that serve item by item should
+// call Shard.Ack after each completed item so a replay resumes where
+// the dead machine stopped instead of re-serving the whole batch.
 type Handler[T any] func(sh *Shard[T], batch []T) error
 
 // Fleet is N shards of one build.Result behind a flow-hash balancer.
-// Submit/Flush/Close are single-producer: one goroutine feeds the
-// fleet. Report, Statuses, and the per-shard accessors are valid after
-// Close returns.
+// Submit/TrySubmit/Flush/Close are single-producer: one goroutine feeds
+// the fleet. Report, Statuses, and the per-shard accessors are valid
+// after Close returns; the atomic health accessors (Served, Dropped,
+// Respawns, Completed, HealthSample, QueueDepth) may additionally be
+// read live from the producer goroutine — that is what the overload
+// layer's circuit breakers do.
 type Fleet[T any] struct {
 	res    *build.Result
 	cfg    Config
@@ -85,11 +112,19 @@ type Fleet[T any] struct {
 	shards []*Shard[T]
 	// pending accumulates submissions per shard until a batch fills.
 	pending [][]T
-	closed  bool
+	// enq counts envelopes (batches and control functions) handed to
+	// each shard's queue. Producer-owned; paired with Shard.Completed it
+	// gives the drain barrier the re-steering layer needs.
+	enq        []uint64
+	closed     bool
+	closeErr   error
+	shedClosed uint64
 }
 
-// Shard is one machine's worth of the fleet. Its fields are owned by
-// the shard goroutine while the fleet runs; read them after Close.
+// Shard is one machine's worth of the fleet. M, Sup, and Col are owned
+// by the shard goroutine while the fleet runs; read them after Close.
+// The atomic counters (Served, Dropped, Respawns, Redelivered,
+// Completed) and HealthSample are safe to read at any time.
 type Shard[T any] struct {
 	ID  int
 	M   *machine.M
@@ -99,18 +134,31 @@ type Shard[T any] struct {
 	fl       *Fleet[T]
 	in       chan envelope[T]
 	done     chan struct{}
-	served   uint64
-	dropped  uint64
-	respawns int
-	errs     []error
+	served   atomic.Uint64
+	dropped  atomic.Uint64
+	redeliv  atomic.Uint64
+	respawns atomic.Int64
+	// completed counts envelopes fully processed, the shard-side half of
+	// the drain barrier.
+	completed atomic.Uint64
+	// acked is the in-flight batch journal's progress mark: how many
+	// items of the batch currently being handled are complete. Owned by
+	// the shard goroutine (set via Ack from the handler).
+	acked int
+	errs  []error
+	// healthMu guards health, the shard's last published activity
+	// snapshot (collector totals), refreshed after every envelope.
+	healthMu sync.Mutex
+	health   observe.Sample
 	// retired holds the observability ledgers of this shard's dead
 	// predecessors, so a respawn loses no history from the roll-up.
 	retired []*observe.Report
 }
 
 // envelope is one queue entry: a data batch for the handler, or a
-// control function to run on the shard goroutine (Exec). Exactly one of
-// the two is set.
+// control function to run on the shard goroutine (Exec/TryExec).
+// Exactly one of batch/ctrl is set; a nil reply sends ctrl's error to
+// the shard's error log instead of a caller.
 type envelope[T any] struct {
 	batch []T
 	ctrl  func(*Shard[T]) error
@@ -143,6 +191,7 @@ func New[T any](res *build.Result, cfg Config, handle Handler[T]) (*Fleet[T], er
 		snap:    snap,
 		handle:  handle,
 		pending: make([][]T, cfg.Shards),
+		enq:     make([]uint64, cfg.Shards),
 	}
 	for id := 0; id < cfg.Shards; id++ {
 		sh := &Shard[T]{
@@ -186,26 +235,98 @@ func (sh *Shard[T]) boot() error {
 
 // run is the shard goroutine: drain batches until the queue closes,
 // respawning from the shared snapshot when the handler reports the
-// machine unrecoverable.
+// machine unrecoverable and applying the redelivery policy to the
+// in-flight batch.
 func (sh *Shard[T]) run() {
 	defer close(sh.done)
 	for env := range sh.in {
 		if env.ctrl != nil {
 			// Control work runs in-order with the shard's traffic but
-			// outside the handler contract: its error goes to the caller,
-			// not into the respawn path — the controller decides what a
-			// failed step means (typically: roll back).
-			env.reply <- env.ctrl(sh)
-			continue
+			// outside the handler contract: its error goes to the caller
+			// (or, fire-and-forget via TryExec, to the shard's error log)
+			// — the controller decides what a failed step means
+			// (typically: roll back).
+			err := env.ctrl(sh)
+			if env.reply != nil {
+				env.reply <- err
+			} else if err != nil {
+				sh.errs = append(sh.errs, fmt.Errorf("shard %d: ctrl: %w", sh.ID, err))
+			}
+		} else {
+			sh.serveBatch(env.batch)
 		}
-		if err := sh.fl.handle(sh, env.batch); err != nil {
-			sh.errs = append(sh.errs, fmt.Errorf("shard %d (respawn %d): %w", sh.ID, sh.respawns, err))
-			sh.dropped += uint64(len(env.batch))
-			sh.respawn()
-			continue
-		}
-		sh.served += uint64(len(env.batch))
+		sh.completed.Add(1)
+		sh.publishHealth()
 	}
+}
+
+// serveBatch runs one batch through the handler under the redelivery
+// policy. The batch itself is the in-flight journal: until the handler
+// returns nil, its unacked remainder survives the machine and — with
+// RedeliverAttempts > 0 — replays onto the respawn, ahead of everything
+// still queued (which is what preserves per-flow order: later items of
+// the same flow are behind this batch in the shard's FIFO).
+func (sh *Shard[T]) serveBatch(batch []T) {
+	for attempt := 0; ; attempt++ {
+		sh.acked = 0
+		err := sh.fl.handle(sh, batch)
+		if err == nil {
+			sh.served.Add(uint64(len(batch)))
+			return
+		}
+		sh.errs = append(sh.errs, fmt.Errorf("shard %d (respawn %d): %w",
+			sh.ID, sh.respawns.Load(), err))
+		// Items acked before the death were fully served; only the
+		// remainder is at stake.
+		if sh.acked > len(batch) {
+			sh.acked = len(batch)
+		}
+		sh.served.Add(uint64(sh.acked))
+		batch = batch[sh.acked:]
+		sh.respawn()
+		if len(batch) == 0 {
+			return
+		}
+		if attempt >= sh.fl.cfg.RedeliverAttempts {
+			sh.dropped.Add(uint64(len(batch)))
+			return
+		}
+		sh.redeliv.Add(uint64(len(batch)))
+	}
+}
+
+// Ack marks the first n items of the batch currently being handled as
+// served. Call it from the handler, on the shard's goroutine, after
+// each completed item (or group): if the machine dies later in the
+// batch, redelivery resumes at the ack mark instead of re-serving from
+// the top.
+func (sh *Shard[T]) Ack(n int) {
+	if n > sh.acked {
+		sh.acked = n
+	}
+}
+
+// publishHealth refreshes the shard's cross-goroutine activity
+// snapshot from the live collector.
+func (sh *Shard[T]) publishHealth() {
+	if sh.Col == nil {
+		return
+	}
+	s := sh.Col.Totals()
+	sh.healthMu.Lock()
+	sh.health = s
+	sh.healthMu.Unlock()
+}
+
+// HealthSample returns the shard's last published activity snapshot
+// (cumulative collector totals as of the most recently completed
+// envelope). Safe from any goroutine; the overload layer's circuit
+// breakers feed it into sliding observe.Windows. A respawn resets the
+// counters — Window.Advance clamps the backwards delta.
+func (sh *Shard[T]) HealthSample() observe.Sample {
+	sh.healthMu.Lock()
+	defer sh.healthMu.Unlock()
+	return sh.health
 }
 
 // respawn retires the dead machine's ledger and boots a replacement.
@@ -216,7 +337,7 @@ func (sh *Shard[T]) respawn() {
 	if sh.Col != nil {
 		sh.retired = append(sh.retired, sh.Col.Report())
 	}
-	sh.respawns++
+	sh.respawns.Add(1)
 	if err := sh.boot(); err != nil {
 		// A snapshot restore cannot fail, so only Setup can land here;
 		// record it and let the shard keep draining (and dropping) so
@@ -228,16 +349,93 @@ func (sh *Shard[T]) respawn() {
 // Submit routes one item by its flow key. Identical flows always reach
 // the same shard, preserving per-flow order; the item rides in the
 // shard's current batch and is handed off when the batch fills (or at
-// Flush). Submit blocks when the target shard's queue is full.
-func (fl *Fleet[T]) Submit(flow uint64, item T) {
+// Flush). Submit blocks when the target shard's queue is full —
+// backpressure for closed-loop producers; open-loop producers use
+// TrySubmit and shed instead. After Close it returns ErrClosed and the
+// attempt is counted in ShedAfterClose (it used to panic).
+func (fl *Fleet[T]) Submit(flow uint64, item T) error {
+	return fl.SubmitShard(FlowShard(flow, fl.cfg.Shards), item)
+}
+
+// SubmitShard is Submit with the shard chosen by the caller — the door
+// the overload layer's re-steering table walks through to move a flow
+// off its sick home shard. Choosing shards by anything other than a
+// stable function of the flow key forfeits per-flow ordering unless the
+// caller provides its own drain barrier, as the re-steerer does.
+func (fl *Fleet[T]) SubmitShard(id int, item T) error {
 	if fl.closed {
-		panic("fleet: Submit after Close")
+		fl.shedClosed++
+		return ErrClosed
 	}
-	id := FlowShard(flow, fl.cfg.Shards)
+	if id < 0 || id >= len(fl.shards) {
+		return fmt.Errorf("fleet: submit to unknown shard %d", id)
+	}
 	fl.pending[id] = append(fl.pending[id], item)
 	if len(fl.pending[id]) >= fl.cfg.Batch {
 		fl.shards[id].in <- envelope[T]{batch: fl.pending[id]}
+		fl.enq[id]++
 		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
+	}
+	return nil
+}
+
+// TrySubmit is the non-blocking Submit: it never stalls the producer,
+// not even when the target shard is sick with a full queue (the
+// head-of-line scenario that motivates the overload layer). It refuses
+// — returning false with the fleet untouched — exactly when admitting
+// the item would need a queue slot the shard cannot give right now.
+func (fl *Fleet[T]) TrySubmit(flow uint64, item T) bool {
+	return fl.TrySubmitShard(FlowShard(flow, fl.cfg.Shards), item)
+}
+
+// TrySubmitShard is TrySubmit with the shard chosen by the caller.
+func (fl *Fleet[T]) TrySubmitShard(id int, item T) bool {
+	if fl.closed {
+		fl.shedClosed++
+		return false
+	}
+	if id < 0 || id >= len(fl.shards) {
+		return false
+	}
+	p := fl.pending[id]
+	if len(p)+1 < fl.cfg.Batch {
+		fl.pending[id] = append(p, item)
+		return true
+	}
+	select {
+	case fl.shards[id].in <- envelope[T]{batch: append(p, item)}:
+		fl.enq[id]++
+		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
+		return true
+	default:
+		return false
+	}
+}
+
+// SubmitShardDeadline admits like TrySubmitShard but, when the hand-off
+// would block, waits for a queue slot until the deadline instead of
+// refusing immediately — the budgeted middle ground between Submit's
+// unbounded backpressure and TrySubmit's instant shed.
+func (fl *Fleet[T]) SubmitShardDeadline(id int, item T, deadline time.Time) bool {
+	if fl.TrySubmitShard(id, item) {
+		return true
+	}
+	if fl.closed || id < 0 || id >= len(fl.shards) {
+		return false
+	}
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return false
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case fl.shards[id].in <- envelope[T]{batch: append(fl.pending[id], item)}:
+		fl.enq[id]++
+		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
+		return true
+	case <-t.C:
+		return false
 	}
 }
 
@@ -258,11 +456,34 @@ func (fl *Fleet[T]) Exec(id int, fn func(*Shard[T]) error) error {
 	// all traffic submitted before it.
 	if len(fl.pending[id]) > 0 {
 		fl.shards[id].in <- envelope[T]{batch: fl.pending[id]}
+		fl.enq[id]++
 		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
 	}
 	reply := make(chan error, 1)
 	fl.shards[id].in <- envelope[T]{ctrl: fn, reply: reply}
+	fl.enq[id]++
 	return <-reply
+}
+
+// TryExec enqueues fn on shard id's goroutine without blocking and
+// without waiting for it to run; fn's error, if any, lands in the
+// shard's error log. False when the shard's queue has no slot (or the
+// fleet is closed). Unlike Exec it does not flush the shard's partial
+// batch — callers needing ordering against pending traffic use Exec.
+// The overload layer uses it to apply brownout swaps to shards whose
+// queues may be full — exactly when a blocking Exec would stall the
+// producer behind the congestion it is trying to relieve.
+func (fl *Fleet[T]) TryExec(id int, fn func(*Shard[T]) error) bool {
+	if fl.closed || id < 0 || id >= len(fl.shards) {
+		return false
+	}
+	select {
+	case fl.shards[id].in <- envelope[T]{ctrl: fn}:
+		fl.enq[id]++
+		return true
+	default:
+		return false
+	}
 }
 
 // ShardPolicy returns the restart policy shard id was booted with — the
@@ -272,24 +493,89 @@ func (fl *Fleet[T]) ShardPolicy(id int) *supervise.Policy {
 	return fl.cfg.Policy.ForShard(id)
 }
 
-// Flush hands off every partial batch.
+// Batch returns the configured batch size.
+func (fl *Fleet[T]) Batch() int { return fl.cfg.Batch }
+
+// QueueDepth is how many envelopes sit unprocessed in shard id's queue
+// right now; QueueCap is the queue's capacity. Both are safe live.
+func (fl *Fleet[T]) QueueDepth(id int) int { return len(fl.shards[id].in) }
+func (fl *Fleet[T]) QueueCap(id int) int   { return cap(fl.shards[id].in) }
+
+// PendingLen is how many items wait in shard id's partial batch.
+// Producer-side state: producer goroutine only.
+func (fl *Fleet[T]) PendingLen(id int) int { return len(fl.pending[id]) }
+
+// Pressure is shard id's queue occupancy in [0, 1]: queued envelopes
+// plus the partial batch's fill fraction, over the queue capacity. The
+// overload layer's admission thresholds are expressed against it.
+// Producer goroutine only (it reads pending).
+func (fl *Fleet[T]) Pressure(id int) float64 {
+	frac := float64(len(fl.pending[id])) / float64(fl.cfg.Batch)
+	return (float64(len(fl.shards[id].in)) + frac) / float64(cap(fl.shards[id].in))
+}
+
+// Enqueued counts envelopes handed to shard id's queue so far.
+// Producer-side counter; with Shard.Completed it forms the re-steering
+// drain barrier: once Completed catches up to an Enqueued reading,
+// everything submitted before that reading has been fully processed.
+func (fl *Fleet[T]) Enqueued(id int) uint64 { return fl.enq[id] }
+
+// Completed counts envelopes this shard has fully processed (batches
+// through the handler and redelivery policy, control functions run).
+// Safe from any goroutine.
+func (sh *Shard[T]) Completed() uint64 { return sh.completed.Load() }
+
+// ShedAfterClose counts submissions refused because the fleet was
+// already closed.
+func (fl *Fleet[T]) ShedAfterClose() uint64 { return fl.shedClosed }
+
+// TryFlushShard hands off shard id's partial batch without blocking:
+// true when the shard has no partial batch left (flushed now, or there
+// was none), false when the queue had no slot. The re-steering layer
+// uses it to start a drain barrier without stalling behind the very
+// congestion it is routing around.
+func (fl *Fleet[T]) TryFlushShard(id int) bool {
+	if fl.closed || id < 0 || id >= len(fl.shards) {
+		return false
+	}
+	p := fl.pending[id]
+	if len(p) == 0 {
+		return true
+	}
+	select {
+	case fl.shards[id].in <- envelope[T]{batch: p}:
+		fl.enq[id]++
+		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
+		return true
+	default:
+		return false
+	}
+}
+
+// Flush hands off every partial batch. No-op after Close (Close already
+// flushed; the queues are gone).
 func (fl *Fleet[T]) Flush() {
+	if fl.closed {
+		return
+	}
 	for id, batch := range fl.pending {
 		if len(batch) == 0 {
 			continue
 		}
 		fl.shards[id].in <- envelope[T]{batch: batch}
+		fl.enq[id]++
 		fl.pending[id] = make([]T, 0, fl.cfg.Batch)
 	}
 }
 
 // Close flushes, stops every shard, and waits for them to drain. It
 // returns the accumulated shard errors (each already attributed to its
-// shard and respawn generation). After Close the fleet's reports and
-// per-shard state are safe to read from any goroutine.
+// shard and respawn generation). Idempotent: repeated calls return the
+// first call's result. After Close the fleet's reports and per-shard
+// state are safe to read from any goroutine.
 func (fl *Fleet[T]) Close() error {
 	if fl.closed {
-		return nil
+		return fl.closeErr
 	}
 	fl.Flush()
 	fl.closed = true
@@ -301,18 +587,23 @@ func (fl *Fleet[T]) Close() error {
 		<-sh.done
 		errs = append(errs, sh.errs...)
 	}
-	return errors.Join(errs...)
+	fl.closeErr = errors.Join(errs...)
+	return fl.closeErr
 }
 
 // Shards exposes the shard list (read shard state only after Close, or
-// from the shard's own handler).
+// from the shard's own handler; the atomic accessors are safe live).
 func (fl *Fleet[T]) Shards() []*Shard[T] { return fl.shards }
 
-// Served and Dropped count items the shard's handler completed and
-// items lost to respawns; Respawns counts reboots from the snapshot.
-func (sh *Shard[T]) Served() uint64  { return sh.served }
-func (sh *Shard[T]) Dropped() uint64 { return sh.dropped }
-func (sh *Shard[T]) Respawns() int   { return sh.respawns }
+// Served counts items the shard's handler completed (acked progress of
+// failed batches included); Dropped counts items lost to respawns after
+// the redelivery policy gave up; Redelivered counts items replayed onto
+// a respawned machine (an item replayed twice counts twice); Respawns
+// counts reboots from the snapshot. All safe to read live.
+func (sh *Shard[T]) Served() uint64      { return sh.served.Load() }
+func (sh *Shard[T]) Dropped() uint64     { return sh.dropped.Load() }
+func (sh *Shard[T]) Redelivered() uint64 { return sh.redeliv.Load() }
+func (sh *Shard[T]) Respawns() int       { return int(sh.respawns.Load()) }
 
 // Report rolls every shard's ledger — live collectors plus the retired
 // ledgers of respawned predecessors — into one fleet-wide report via

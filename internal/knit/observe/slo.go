@@ -1,9 +1,14 @@
 package observe
 
-// Windowed SLO evaluation for the reconfiguration layer's canary
-// controller: cumulative collector counters are turned into sliding
-// deltas, so a canary shard's trap rate and cycle tail are judged on
-// what happened *since the upgrade*, not diluted by its healthy history.
+// Windowed SLO evaluation, shared by the reconfiguration layer's canary
+// controller and the overload layer's per-shard circuit breakers:
+// cumulative collector counters are turned into sliding deltas, so a
+// shard's trap rate and cycle tail are judged on what happened
+// *recently* (for a canary: since the upgrade), not diluted by its
+// healthy history. The SLO judge below is the one implementation both
+// consumers use — a candidate window is compared against a baseline
+// window, so "healthy" is always relative to what the rest of the
+// system is experiencing under the same traffic.
 
 // Sample is an aggregate activity snapshot: calls, traps, and the
 // per-call cycle histogram summed across instances. Samples subtract
@@ -50,6 +55,113 @@ func (c *Collector) Totals() Sample {
 		}
 	}
 	return s
+}
+
+// Totals sums a detached report into one cumulative Sample, so merged
+// fleet reports (retired generations included) feed the same SLO math
+// live collectors do.
+func (r *Report) Totals() Sample {
+	var s Sample
+	for i := range r.Instances {
+		im := &r.Instances[i]
+		s.Calls += im.Calls
+		s.Traps += im.TrapTotal()
+		for j := range im.Hist {
+			s.Hist[j] += im.Hist[j]
+		}
+	}
+	return s
+}
+
+// SLO bounds a candidate's windowed trap rate and cycle tail relative
+// to a baseline observed over the same interval. The canary controller
+// judges upgraded shards against stable ones with it; the overload
+// layer's circuit breakers judge each shard against the rest of the
+// fleet. Zero fields take the documented defaults.
+type SLO struct {
+	// MinCalls is how much candidate traffic must accumulate in the
+	// window before a healthy judgment counts (default 256 calls).
+	// Breaches are acted on regardless — thin evidence of health is
+	// inconclusive, thin evidence of traps is not.
+	MinCalls uint64
+	// TrapRateMargin is how far above the baseline's windowed trap rate
+	// the candidate's may sit before the judgment is a breach
+	// (default 0.001).
+	TrapRateMargin float64
+	// P99Factor bounds the candidate's windowed per-call cycle p99 at
+	// factor times the baseline's (default 4; the p99 is a log2 bucket
+	// bound, so the factor spans two buckets).
+	P99Factor float64
+	// Windows is the sliding window length in observation ticks
+	// (default 4).
+	Windows int
+	// PromoteAfter is how many consecutive healthy judgments conclude
+	// the candidate is sound — a canary promotes, a half-open breaker
+	// closes (default 2).
+	PromoteAfter int
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+func (s SLO) WithDefaults() SLO {
+	if s.MinCalls == 0 {
+		s.MinCalls = 256
+	}
+	if s.TrapRateMargin == 0 {
+		s.TrapRateMargin = 0.001
+	}
+	if s.P99Factor == 0 {
+		s.P99Factor = 4
+	}
+	if s.Windows <= 0 {
+		s.Windows = 4
+	}
+	if s.PromoteAfter <= 0 {
+		s.PromoteAfter = 2
+	}
+	return s
+}
+
+// Verdict is one window's SLO judgment.
+type Verdict int
+
+const (
+	// Inconclusive: the candidate window holds less than MinCalls of
+	// traffic and no bound is breached — keep observing.
+	Inconclusive Verdict = iota
+	// Meeting: the candidate is within both bounds with enough traffic
+	// to say so.
+	Meeting
+	// Breaching: the candidate exceeds the trap-rate margin or the p99
+	// factor over the baseline.
+	Breaching
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Meeting:
+		return "meeting"
+	case Breaching:
+		return "breaching"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Judge compares one candidate window against one baseline window.
+// Breaches are detected before the MinCalls floor is applied: a
+// candidate that is already trapping on thin traffic is breaching, not
+// inconclusive.
+func (s SLO) Judge(candidate, baseline Sample) Verdict {
+	if candidate.TrapRate() > baseline.TrapRate()+s.TrapRateMargin {
+		return Breaching
+	}
+	if bp := baseline.P99(); bp > 0 && float64(candidate.P99()) > s.P99Factor*float64(bp) {
+		return Breaching
+	}
+	if candidate.Calls < s.MinCalls {
+		return Inconclusive
+	}
+	return Meeting
 }
 
 // Window turns cumulative samples into a sliding window of recent

@@ -1,0 +1,102 @@
+package observe
+
+import "testing"
+
+func sampleAt(calls, traps uint64, bucket int, n uint64) Sample {
+	s := Sample{Calls: calls, Traps: traps}
+	if bucket >= 0 {
+		s.Hist[bucket] = n
+	}
+	return s
+}
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(2)
+	w.Reset(Sample{Calls: 100, Traps: 10})
+
+	cur := w.Advance(Sample{Calls: 150, Traps: 12})
+	if cur.Calls != 50 || cur.Traps != 2 {
+		t.Fatalf("first delta = %d calls / %d traps, want 50/2", cur.Calls, cur.Traps)
+	}
+	cur = w.Advance(Sample{Calls: 200, Traps: 12})
+	if cur.Calls != 100 || cur.Traps != 2 {
+		t.Fatalf("two deltas = %d calls / %d traps, want 100/2", cur.Calls, cur.Traps)
+	}
+	// Third advance evicts the first delta: window holds the last two.
+	cur = w.Advance(Sample{Calls: 210, Traps: 12})
+	if cur.Calls != 60 || cur.Traps != 0 {
+		t.Fatalf("slid window = %d calls / %d traps, want 60/0", cur.Calls, cur.Traps)
+	}
+}
+
+func TestWindowClampsBackwardsCounters(t *testing.T) {
+	// A respawn replaces the collector, so cumulative counters restart
+	// from zero; the delta must clamp to the new value, not wrap.
+	w := NewWindow(1)
+	w.Reset(Sample{Calls: 1000, Traps: 5})
+	cur := w.Advance(Sample{Calls: 30, Traps: 1})
+	if cur.Calls != 30 || cur.Traps != 1 {
+		t.Fatalf("clamped delta = %d calls / %d traps, want 30/1", cur.Calls, cur.Traps)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(3)
+	w.Reset(Sample{})
+	w.Advance(Sample{Calls: 100})
+	w.Reset(Sample{Calls: 100})
+	if cur := w.Current(); cur.Calls != 0 {
+		t.Fatalf("current after reset = %d calls, want 0", cur.Calls)
+	}
+	if cur := w.Advance(Sample{Calls: 120}); cur.Calls != 20 {
+		t.Fatalf("delta after reset = %d calls, want 20", cur.Calls)
+	}
+}
+
+func TestJudgeVerdicts(t *testing.T) {
+	slo := SLO{MinCalls: 100, TrapRateMargin: 0.01, P99Factor: 4}.WithDefaults()
+	base := sampleAt(1000, 0, 4, 1000) // trap rate 0, p99 bucket 4
+
+	cases := []struct {
+		name      string
+		candidate Sample
+		want      Verdict
+	}{
+		{"healthy", sampleAt(1000, 0, 4, 1000), Meeting},
+		{"thin traffic", sampleAt(10, 0, 4, 10), Inconclusive},
+		{"trap breach", sampleAt(1000, 100, 4, 1000), Breaching},
+		// Breaches outrank the MinCalls floor: thin but trapping.
+		{"thin trap breach", sampleAt(10, 5, 4, 10), Breaching},
+		// p99 one bucket up is within P99Factor=4 (log2 buckets)...
+		{"p99 within factor", sampleAt(1000, 0, 5, 1000), Meeting},
+		// ...three buckets up (8x) is a breach.
+		{"p99 breach", sampleAt(1000, 0, 7, 1000), Breaching},
+	}
+	for _, tc := range cases {
+		if got := slo.Judge(tc.candidate, base); got != tc.want {
+			t.Errorf("%s: verdict = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJudgeIdleBaseline(t *testing.T) {
+	// An idle baseline (no calls, p99 = 0) must not turn every busy
+	// candidate into a p99 breach.
+	slo := SLO{}.WithDefaults()
+	cand := sampleAt(1000, 0, 8, 1000)
+	if got := slo.Judge(cand, Sample{}); got != Meeting {
+		t.Fatalf("verdict against idle baseline = %v, want %v", got, Meeting)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	d := SLO{}.WithDefaults()
+	if d.MinCalls != 256 || d.TrapRateMargin != 0.001 || d.P99Factor != 4 ||
+		d.Windows != 4 || d.PromoteAfter != 2 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	custom := SLO{MinCalls: 1, TrapRateMargin: 0.5, P99Factor: 2, Windows: 8, PromoteAfter: 3}
+	if got := custom.WithDefaults(); got != custom {
+		t.Fatalf("WithDefaults clobbered explicit fields: %+v", got)
+	}
+}

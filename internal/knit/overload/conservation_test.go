@@ -1,0 +1,149 @@
+package overload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"knit/internal/knit/fleet"
+	"knit/internal/machine"
+)
+
+// TestConservationUnderChaos is the accounting property test: across
+// randomized traffic (mixed classes, many flows), randomized transient
+// kills (respawns with redelivery), the breaker trips and re-steers
+// they induce, and pressure-driven shedding, every submitted item is
+// exactly one of served, dropped, or shed:
+//
+//	submitted == served + dropped + shed
+//
+// with redelivered items counted once (a replay changes no ledger until
+// it lands as served or dropped). Runs on both execution backends.
+func TestConservationUnderChaos(t *testing.T) {
+	backends := []struct {
+		name string
+		b    machine.Backend
+	}{
+		{"interp", machine.BackendInterp},
+		{"compiled", machine.BackendCompiled},
+	}
+	for _, bk := range backends {
+		bk := bk
+		t.Run(bk.name, func(t *testing.T) {
+			res := buildOverload(t, bk.b)
+			const (
+				shards = 3
+				items  = 600
+				flows  = 24
+			)
+			// A "kill item" fails its batch once per batch incarnation:
+			// seen tracks which kill keys this shard generation already
+			// faulted on, so the redelivered remainder succeeds — the
+			// recoverable path. Each map is touched only by its own
+			// shard's goroutine.
+			seen := make([]map[int64]bool, shards)
+			for i := range seen {
+				seen[i] = map[int64]bool{}
+			}
+			handler := func(sh *fleet.Shard[int64], batch []int64) error {
+				for i, x := range batch {
+					if x < 0 && !seen[sh.ID][x] {
+						seen[sh.ID][x] = true
+						return errPoisoned
+					}
+					v := x
+					if v < 0 {
+						v = -v
+					}
+					if _, err := sh.Sup.Call("main", "work", v); err != nil {
+						return err
+					}
+					sh.Ack(i + 1)
+				}
+				return nil
+			}
+			fl, err := fleet.New[int64](res, fleet.Config{
+				Shards:            shards,
+				Batch:             2,
+				Queue:             2,
+				RedeliverAttempts: 2,
+			}, handler)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			c := NewController(fl, Config{
+				SLO:       observeSLO(),
+				TripAfter: 1,
+				CoolTicks: 2,
+				MaxRemaps: 8,
+				ParkCap:   16,
+			})
+
+			rng := rand.New(rand.NewSource(0x5eed))
+			kills := int64(0)
+			for i := 0; i < items; i++ {
+				flow := uint64(rng.Intn(flows))
+				class := Class(rng.Intn(int(NumClasses)))
+				var item int64
+				if rng.Intn(40) == 0 {
+					kills--
+					item = kills // unique negative key: one transient kill
+				} else {
+					item = int64(rng.Intn(100) + 1)
+				}
+				if rng.Intn(4) == 0 && class == High {
+					c.SubmitDeadline(flow, class, item, time.Now().Add(2*time.Millisecond))
+				} else {
+					c.TrySubmit(flow, class, item)
+				}
+				if i%7 == 0 {
+					c.Tick()
+				}
+			}
+			for i := 0; i < 50; i++ {
+				c.Tick()
+				time.Sleep(time.Millisecond)
+			}
+			c.Drain(time.Now().Add(5 * time.Second))
+			if got := c.Parked(); got != 0 {
+				t.Fatalf("parked after Drain = %d, want 0", got)
+			}
+			fl.Close() // poisoned batches make the error non-nil; ledgers are what matter
+
+			st := c.Stats()
+			var served, dropped, redelivered uint64
+			var respawns int
+			for _, sh := range fl.Shards() {
+				served += sh.Served()
+				dropped += sh.Dropped()
+				redelivered += sh.Redelivered()
+				respawns += sh.Respawns()
+			}
+			if st.Submitted != uint64(items) {
+				t.Fatalf("submitted = %d, want %d", st.Submitted, items)
+			}
+			if st.Submitted != st.Admitted+st.ShedTotal {
+				t.Fatalf("conservation (controller): submitted %d != admitted %d + shed %d",
+					st.Submitted, st.Admitted, st.ShedTotal)
+			}
+			if served+dropped != st.Admitted {
+				t.Fatalf("conservation (fleet): served %d + dropped %d != admitted %d",
+					served, dropped, st.Admitted)
+			}
+			if served+dropped+st.ShedTotal != st.Submitted {
+				t.Fatalf("conservation (end to end): served %d + dropped %d + shed %d != submitted %d",
+					served, dropped, st.ShedTotal, st.Submitted)
+			}
+			// The chaos must actually have happened for the property to
+			// mean anything.
+			if respawns == 0 || redelivered == 0 {
+				t.Fatalf("chaos too tame: respawns=%d redelivered=%d, want > 0", respawns, redelivered)
+			}
+			if dropped != 0 {
+				t.Fatalf("dropped = %d, want 0 (transient kills with redelivery are the recoverable path)", dropped)
+			}
+			t.Logf("%s: served=%d shed=%v redelivered=%d respawns=%d trips=%d resteers=%d",
+				bk.name, served, st.Shed, redelivered, respawns, st.Trips, st.Resteers)
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package overload
+
+import (
+	"testing"
+
+	"knit/internal/knit/build"
+	"knit/internal/knit/fleet"
+	"knit/internal/machine"
+)
+
+// The overload fixture is the fleet package's stateful accumulator plus
+// a declared fallback: Lite seeds its counter at 500000, so any total
+// at or above that proves the fallback wiring is serving (brownout
+// engaged), while totals near the primary's 1000 seed prove the
+// primary is back.
+const overloadUnits = `
+bundletype Main = { work, total }
+
+unit Counter = {
+  exports [ main : Main ];
+  initializer cnt_init for main;
+  fallback Lite;
+  files { "counter.c" };
+}
+unit Lite = {
+  exports [ main : Main ];
+  initializer lite_init for main;
+  files { "lite.c" };
+  rename { main.work to lite_work; main.total to lite_total; };
+}
+`
+
+const overloadCounterSource = `
+static int n = 0;
+void cnt_init(void) { n = 1000; }
+int work(int x) { n = n + x; return n; }
+int total(void) { return n; }
+`
+
+const overloadLiteSource = `
+static int n = 0;
+void lite_init(void) { n = 500000; }
+int lite_work(int x) { n = n + 1; return n; }
+int lite_total(void) { return n; }
+`
+
+func buildOverload(t *testing.T, backend machine.Backend) *build.Result {
+	t.Helper()
+	res, err := build.Build(build.Options{
+		Top:       "Counter",
+		UnitFiles: map[string]string{"overload.unit": overloadUnits},
+		Sources: map[string]string{
+			"counter.c": overloadCounterSource,
+			"lite.c":    overloadLiteSource,
+		},
+		Backend: backend,
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return res
+}
+
+// flowFor finds a flow key that lands on the wanted shard.
+func flowFor(t *testing.T, shard, shards int) uint64 {
+	t.Helper()
+	for flow := uint64(0); flow < 1<<16; flow++ {
+		if fleet.FlowShard(flow, shards) == shard {
+			return flow
+		}
+	}
+	t.Fatalf("no flow maps to shard %d of %d", shard, shards)
+	return 0
+}

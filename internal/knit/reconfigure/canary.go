@@ -11,43 +11,10 @@ import (
 
 // SLO gates a canary trial: the canary shards' windowed trap rate and
 // cycle tail are judged against the stable shards' over the same
-// interval. Zero fields take the documented defaults.
-type SLO struct {
-	// MinCalls is how much post-upgrade canary traffic must accumulate
-	// in the window before any judgment (default 256 calls).
-	MinCalls uint64
-	// TrapRateMargin is how far above the stable shards' windowed trap
-	// rate the canaries' may sit before the trial fails (default 0.001).
-	TrapRateMargin float64
-	// P99Factor bounds the canaries' windowed per-call cycle p99 at
-	// factor times the stable shards' (default 4; the p99 is a log2
-	// bucket bound, so the factor spans two buckets).
-	P99Factor float64
-	// Windows is the sliding window length in Observe ticks (default 4).
-	Windows int
-	// PromoteAfter is how many consecutive healthy judgments promote
-	// the trial (default 2).
-	PromoteAfter int
-}
-
-func (s SLO) withDefaults() SLO {
-	if s.MinCalls == 0 {
-		s.MinCalls = 256
-	}
-	if s.TrapRateMargin == 0 {
-		s.TrapRateMargin = 0.001
-	}
-	if s.P99Factor == 0 {
-		s.P99Factor = 4
-	}
-	if s.Windows <= 0 {
-		s.Windows = 4
-	}
-	if s.PromoteAfter <= 0 {
-		s.PromoteAfter = 2
-	}
-	return s
-}
+// interval. It is the shared observe.SLO judge — the same
+// implementation the overload layer's circuit breakers trip on — with
+// the canaries as candidate and the stable shards as baseline.
+type SLO = observe.SLO
 
 // Decision is a canary judgment.
 type Decision int
@@ -120,7 +87,7 @@ func NewCanary[T any](fl *fleet.Fleet[T], plan *Plan, fraction float64, slo SLO)
 	c := &Canary[T]{
 		fl:       fl,
 		plan:     plan,
-		slo:      slo.withDefaults(),
+		slo:      slo.WithDefaults(),
 		applied:  map[int]*Applied{},
 		wins:     map[int]*observe.Window{},
 		respawns: map[int]int{},
@@ -210,13 +177,10 @@ func (c *Canary[T]) Observe() Decision {
 	for _, id := range c.stables {
 		stS.Add(c.wins[id].Current())
 	}
-	if canS.TrapRate() > stS.TrapRate()+c.slo.TrapRateMargin {
+	switch c.slo.Judge(canS, stS) {
+	case observe.Breaching:
 		return Rollback
-	}
-	if sp := stS.P99(); sp > 0 && float64(canS.P99()) > c.slo.P99Factor*float64(sp) {
-		return Rollback
-	}
-	if canS.Calls < c.slo.MinCalls {
+	case observe.Inconclusive:
 		return Pending
 	}
 	c.healthy++

@@ -1,0 +1,89 @@
+package supervise
+
+import (
+	"testing"
+
+	"knit/internal/knit/build/faultinject"
+)
+
+// TestBrownoutDegradeAndRestore: DegradeAll proactively swaps every
+// fallback-declaring unit (here: B -> BSafe) with zero faults involved,
+// and RestoreAll puts the primaries back, residue-free.
+func TestBrownoutDegradeAndRestore(t *testing.T) {
+	res, m := buildSup(t)
+	sup := New(res, m, Default(), NewFakeClock())
+
+	if got, _ := sup.Call("c", "get"); got != 21 {
+		t.Fatalf("healthy c.get = %d, want 21", got)
+	}
+
+	n, err := sup.DegradeAll()
+	if err != nil {
+		t.Fatalf("DegradeAll: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("DegradeAll swapped %d instances, want 1 (only B declares a fallback)", n)
+	}
+	if !sup.BrownedOut() {
+		t.Fatal("BrownedOut() = false after DegradeAll")
+	}
+	if got, _ := sup.Call("c", "get"); got != 111 {
+		t.Fatalf("browned-out c.get = %d, want 111 (BSafe serving)", got)
+	}
+	// Idempotent: the degraded instance is not swapped again.
+	if n, _ := sup.DegradeAll(); n != 0 {
+		t.Fatalf("second DegradeAll swapped %d instances, want 0", n)
+	}
+
+	n, err = sup.RestoreAll()
+	if err != nil {
+		t.Fatalf("RestoreAll: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("RestoreAll restored %d instances, want 1", n)
+	}
+	if sup.BrownedOut() {
+		t.Fatal("BrownedOut() = true after RestoreAll")
+	}
+	if got, _ := sup.Call("c", "get"); got != 21 {
+		t.Fatalf("restored c.get = %d, want 21 (primary serving)", got)
+	}
+	instB := instOf(t, res, "B")
+	if st := statusOf(t, sup, instB.Path); st.State != Healthy || st.ActiveModule != "" {
+		t.Fatalf("B after restore = %+v, want healthy with no active module", st)
+	}
+	if err := m.CheckDynInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBrownoutFaultKeepsFallback: a unit that faults while browned out
+// has earned its degradation — RestoreAll leaves it on the fallback.
+func TestBrownoutFaultKeepsFallback(t *testing.T) {
+	res, m := buildSup(t)
+	in := faultinject.Attach(m)
+	defer in.Detach()
+	sup := New(res, m, Default(), NewFakeClock())
+
+	if n, err := sup.DegradeAll(); n != 1 || err != nil {
+		t.Fatalf("DegradeAll = %d, %v; want 1, nil", n, err)
+	}
+
+	// Fault the fallback itself: one trap on BSafe's get, which the
+	// policy answers with a restart of the fallback instance.
+	instB := instOf(t, res, "B")
+	st := sup.states[instB.Path]
+	target := st.lu.Instance.ExportSyms["b"]["get"]
+	in.TrapCallEvery(target, 1)
+	if _, err := sup.Call("c", "get"); err == nil {
+		t.Fatal("injected call unexpectedly succeeded")
+	}
+	in.Clear()
+
+	if n, err := sup.RestoreAll(); n != 0 || err != nil {
+		t.Fatalf("RestoreAll = %d, %v; want 0, nil (fault cleared the brownout mark)", n, err)
+	}
+	if got, _ := sup.Call("c", "get"); got != 111 {
+		t.Fatalf("c.get = %d, want 111 (still on BSafe)", got)
+	}
+}

@@ -130,6 +130,11 @@ type instState struct {
 	swaps    int
 	escScope string // last scope escalated to; climbs toward ""
 	lastErr  error
+	// brownout marks a degradation entered proactively by DegradeAll
+	// (load shedding) rather than by the fault handler; only these are
+	// undone by RestoreAll. A fault while browned out clears the mark —
+	// the instance has now earned its fallback.
+	brownout bool
 }
 
 // New supervises res's program on m. The caller keeps ownership of m
@@ -225,6 +230,7 @@ func (s *Supervisor) CallGlobal(global string, args ...int64) (int64, error) {
 func (s *Supervisor) HandleFault(err error) {
 	st := s.stateFor(attribute(err, s.m))
 	now := s.clk.Now()
+	st.brownout = false
 	st.lastErr = err
 	st.total++
 	st.failures = append(st.failures, now)
