@@ -1,0 +1,153 @@
+// Generated-assembly differential tests: the goal-directed assembler
+// (internal/knit/assemble) is a scenario generator — every distinct
+// satisfying wiring it enumerates over the committed goal specs in
+// examples/assemble/src must behave like hand-written configurations:
+// plain, cold-cached, warm-cached, and parallel builds agree
+// (differential_test.go's contract), and the interpreter and compiled
+// backends are observationally identical on the full run
+// (backend_differential_test.go's contract). Goals authored to be
+// unsatisfiable must yield explanations, never wirings.
+package knit
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knit/internal/knit/assemble"
+	"knit/internal/knit/build"
+	"knit/internal/oskit"
+)
+
+// assemblySweepMin is the coverage floor: the committed goal set must
+// keep producing at least this many distinct verified assemblies.
+const assemblySweepMin = 25
+
+// sweepGoals loads every committed goal spec.
+func sweepGoals(t *testing.T) map[string]*assemble.Goal {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("examples", "assemble", "src", "*.goal"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed goal specs: %v", err)
+	}
+	goals := map[string]*assemble.Goal{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := assemble.ParseGoal(filepath.Base(path), string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		goals[strings.TrimSuffix(filepath.Base(path), ".goal")] = g
+	}
+	return goals
+}
+
+// enumerateSweep runs the enumerator over every satisfiable committed
+// goal and returns the assemblies keyed by "goal/index". Unsatisfiable
+// goals (badirq) are asserted to explain themselves and contribute
+// nothing.
+func enumerateSweep(t *testing.T) map[string]*assemble.Assembly {
+	t.Helper()
+	repo := oskit.Repository()
+	opts := assemble.Options{RankPool: 12, RawBudget: 128}
+	out := map[string]*assemble.Assembly{}
+	for name, g := range sweepGoals(t) {
+		asms, err := assemble.Enumerate(repo, g, 12, opts)
+		if err != nil {
+			var unsat *assemble.UnsatError
+			if !errors.As(err, &unsat) {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if unsat.Reason == "" {
+				t.Fatalf("%s: unsatisfiable without an explanation", name)
+			}
+			continue
+		}
+		for i, a := range asms {
+			out[fmt.Sprintf("%s/%02d", name, i+1)] = a
+		}
+	}
+	return out
+}
+
+// TestAssemblySweepCoverage pins the force-multiplier property: the
+// committed goal set expands into a generated scenario suite at least
+// assemblySweepMin strong.
+func TestAssemblySweepCoverage(t *testing.T) {
+	asms := enumerateSweep(t)
+	perGoal := map[string]int{}
+	for key := range asms {
+		perGoal[strings.SplitN(key, "/", 2)[0]]++
+	}
+	t.Logf("sweep: %d assemblies across goals %v", len(asms), perGoal)
+	if len(asms) < assemblySweepMin {
+		var names []string
+		for k := range asms {
+			names = append(names, k)
+		}
+		t.Fatalf("sweep produced %d assemblies, want >= %d: %v",
+			len(asms), assemblySweepMin, names)
+	}
+	texts := map[string]bool{}
+	for key, a := range asms {
+		sig := a.Name + "\n" + a.Text
+		if texts[sig] {
+			t.Errorf("%s duplicates another assembly's text", key)
+		}
+		texts[sig] = true
+	}
+}
+
+// TestAssemblyDifferential walks every generated assembly through the
+// build-mode differential harness (plain ≡ cold ≡ warm ≡ parallel) and
+// the backend differential harness (interp ≡ compiled on the full
+// init/run/fini trace), exactly like the hand-written fixtures.
+func TestAssemblyDifferential(t *testing.T) {
+	repo := oskit.Repository()
+	for key, a := range enumerateSweep(t) {
+		a := a
+		files := map[string]string{"__assembly.unit": a.Text}
+		for k, v := range repo.UnitFiles {
+			files[k] = v
+		}
+		base := build.Options{
+			Top:       a.Name,
+			UnitFiles: files,
+			Sources:   repo.Sources,
+			Check:     true,
+		}
+		t.Run(key+"/builds", func(t *testing.T) {
+			buildVariants(t, base)
+		})
+		t.Run(key+"/backends", func(t *testing.T) {
+			assertBackendAgreement(t, func() (*build.Result, error) {
+				return build.Build(base)
+			})
+		})
+	}
+}
+
+// TestAssemblySweepUnsatGoalCommitted keeps the deliberately
+// unsatisfiable committed goal honest: badirq.goal must stay the
+// paper's §4 context violation, reported with the constraint named.
+func TestAssemblySweepUnsatGoalCommitted(t *testing.T) {
+	goals := sweepGoals(t)
+	g, ok := goals["badirq"]
+	if !ok {
+		t.Fatal("committed goal set lost badirq.goal")
+	}
+	_, err := assemble.Assemble(oskit.Repository(), g, assemble.Options{})
+	var unsat *assemble.UnsatError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("badirq.goal: want UnsatError, got %v", err)
+	}
+	if unsat.Violation == nil || unsat.Violation.Var.Prop != "context" {
+		t.Fatalf("badirq.goal: explanation does not name the context constraint: %v", unsat)
+	}
+}

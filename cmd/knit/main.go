@@ -7,6 +7,7 @@
 // Usage:
 //
 //	knit -top Kernel [-run bundle.symbol [-arg N]] [flags] file.unit...
+//	knit -assemble -goal spec.goal [-enumerate K] [-emit-dir DIR] (-oskit | file.unit...)
 //
 // Source files named by units' files{} sections are read from the
 // directory given by -src (default: the directory of the first unit
@@ -23,39 +24,58 @@ import (
 	"time"
 
 	"knit/internal/asm"
+	"knit/internal/knit/assemble"
 	"knit/internal/knit/build"
 	"knit/internal/knit/link"
 	"knit/internal/knit/observe"
 	"knit/internal/knit/reconfigure"
 	"knit/internal/knit/supervise"
 	"knit/internal/machine"
+	"knit/internal/oskit"
 )
 
 func main() {
 	var (
-		top      = flag.String("top", "", "top unit to build (required)")
-		srcDir   = flag.String("src", "", "directory for C sources (default: unit file directory)")
-		run      = flag.String("run", "", "exported function to execute, as bundle.symbol")
-		arg      = flag.Int64("arg", 0, "argument passed to the executed function")
-		fuel     = flag.Int64("fuel", 0, "instruction budget per machine run; a component exceeding it traps instead of hanging (0 = unlimited)")
-		backendF = flag.String("backend", "", "execution backend for -run: interp (reference, default) or compiled (closure-compiled, faster, no fetch model)")
-		check    = flag.Bool("check", true, "run the constraint checker")
-		optimize = flag.Bool("O", false, "enable the optimizer")
-		flatten  = flag.Bool("flatten", false, "flatten all units before compiling")
-		cacheDir = flag.String("cache", "", "directory for the content-hash compile cache (empty = no cache)")
-		jobs     = flag.Int("j", 0, "parallel compile jobs (0 = one per CPU)")
-		upgradeF = flag.String("upgrade", "", "with -run, after the first call live-reconfigure to this target unit file (diff, rewire, re-run; the upgraded result is checked against a cold build of the target)")
-		supFlag  = flag.Bool("supervise", false, "run -run under the self-healing supervisor (restart/fallback/escalate per policy)")
-		policy   = flag.String("policy", "", "supervision policy file (default: built-in policy)")
-		calls    = flag.Int("calls", 1, "with -supervise, number of supervised calls to drive")
-		metrics  = flag.Bool("metrics", false, "with -run, attribute calls/cycles/traps to unit instances and print the per-instance report")
-		traceOut = flag.String("trace", "", "with -run, write a JSON-lines call trace (most recent spans) to this file")
-		schedule = flag.Bool("schedule", false, "print the initializer/finalizer schedule")
-		showTime = flag.Bool("time", false, "print the per-phase build-time breakdown")
-		dumpFlat = flag.Bool("dump-flat", false, "print the flattened merged source and exit")
-		dumpAsm  = flag.Bool("dump-asm", false, "print the linked program as assembly and exit")
+		top       = flag.String("top", "", "top unit to build (required)")
+		srcDir    = flag.String("src", "", "directory for C sources (default: unit file directory)")
+		run       = flag.String("run", "", "exported function to execute, as bundle.symbol")
+		arg       = flag.Int64("arg", 0, "argument passed to the executed function")
+		fuel      = flag.Int64("fuel", 0, "instruction budget per machine run; a component exceeding it traps instead of hanging (0 = unlimited)")
+		backendF  = flag.String("backend", "", "execution backend for -run: interp (reference, default) or compiled (closure-compiled, faster, no fetch model)")
+		check     = flag.Bool("check", true, "run the constraint checker")
+		optimize  = flag.Bool("O", false, "enable the optimizer")
+		flatten   = flag.Bool("flatten", false, "flatten all units before compiling")
+		cacheDir  = flag.String("cache", "", "directory for the content-hash compile cache (empty = no cache)")
+		jobs      = flag.Int("j", 0, "parallel compile jobs (0 = one per CPU)")
+		upgradeF  = flag.String("upgrade", "", "with -run, after the first call live-reconfigure to this target unit file (diff, rewire, re-run; the upgraded result is checked against a cold build of the target)")
+		supFlag   = flag.Bool("supervise", false, "run -run under the self-healing supervisor (restart/fallback/escalate per policy)")
+		policy    = flag.String("policy", "", "supervision policy file (default: built-in policy)")
+		calls     = flag.Int("calls", 1, "with -supervise, number of supervised calls to drive")
+		metrics   = flag.Bool("metrics", false, "with -run, attribute calls/cycles/traps to unit instances and print the per-instance report")
+		traceOut  = flag.String("trace", "", "with -run, write a JSON-lines call trace (most recent spans) to this file")
+		assembleF = flag.Bool("assemble", false, "goal-directed assembly: search the unit repository for the cheapest wiring satisfying -goal")
+		goalF     = flag.String("goal", "", "goal-spec file for -assemble")
+		enumFlag  = flag.Int("enumerate", 0, "with -assemble, stream the top-K distinct satisfying assemblies instead of running the best")
+		emitDir   = flag.String("emit-dir", "", "with -assemble, write each generated .unit assembly into this directory")
+		oskitRepo = flag.Bool("oskit", false, "with -assemble, search the built-in oskit unit repository (no unit files needed)")
+		schedule  = flag.Bool("schedule", false, "print the initializer/finalizer schedule")
+		showTime  = flag.Bool("time", false, "print the per-phase build-time breakdown")
+		dumpFlat  = flag.Bool("dump-flat", false, "print the flattened merged source and exit")
+		dumpAsm   = flag.Bool("dump-asm", false, "print the linked program as assembly and exit")
 	)
 	flag.Parse()
+	if *assembleF || *goalF != "" {
+		if *goalF == "" || (!*oskitRepo && flag.NArg() == 0) {
+			fmt.Fprintln(os.Stderr, "usage: knit -assemble -goal file.goal [-enumerate K] [-emit-dir DIR] (-oskit | file.unit...)")
+			os.Exit(2)
+		}
+		backend, err := machine.ParseBackend(*backendF)
+		if err != nil {
+			fail(err)
+		}
+		runAssemble(*goalF, *oskitRepo, *srcDir, *enumFlag, *emitDir, *run, *arg, backend)
+		return
+	}
 	if *top == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: knit -top Unit [flags] file.unit...")
 		flag.Usage()
@@ -186,6 +206,107 @@ func main() {
 				len(tracer.Spans()), tracer.Recorded(), *traceOut)
 		}
 	}
+}
+
+// runAssemble is the goal-directed assembly driver: it parses the goal
+// spec, searches the repository (the built-in oskit kit or the unit
+// files on the command line), and either runs the cheapest verified
+// assembly or enumerates the top-K distinct ones for the harnesses. An
+// unsatisfiable goal exits nonzero with the blocking constraint or
+// export named.
+func runAssemble(goalPath string, useOskit bool, srcDir string, k int,
+	emitDir, runSpec string, arg int64, backend machine.Backend) {
+
+	data, err := os.ReadFile(goalPath)
+	if err != nil {
+		fail(err)
+	}
+	goal, err := assemble.ParseGoal(goalPath, string(data))
+	if err != nil {
+		fail(err)
+	}
+
+	var repo assemble.Repo
+	if useOskit {
+		repo = oskit.Repository()
+	} else {
+		unitFiles := map[string]string{}
+		for _, path := range flag.Args() {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				fail(err)
+			}
+			unitFiles[path] = string(text)
+		}
+		dir := srcDir
+		if dir == "" {
+			dir = filepath.Dir(flag.Args()[0])
+		}
+		sources, err := loadSources(unitFiles, dir)
+		if err != nil {
+			fail(err)
+		}
+		repo = assemble.Repo{UnitFiles: unitFiles, Sources: sources}
+	}
+
+	opts := assemble.Options{Backend: backend}
+	start := time.Now()
+	if k > 0 {
+		asms, err := assemble.Enumerate(repo, goal, k, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("knit: %d satisfying assemblies (%d requested) in %v\n",
+			len(asms), k, time.Since(start).Round(time.Millisecond))
+		for i, a := range asms {
+			fmt.Printf("  #%d %-16s %s\n     units: %s\n",
+				i+1, a.Name, a.Cost, strings.Join(a.Units, ", "))
+			emitAssembly(emitDir, fmt.Sprintf("%s_%02d.unit", a.Name, i+1), a.Text)
+		}
+		return
+	}
+
+	best, err := assemble.Assemble(repo, goal, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("knit: assembled %s in %v: %s\nknit: units: %s\n",
+		best.Name, time.Since(start).Round(time.Millisecond),
+		best.Cost, strings.Join(best.Units, ", "))
+	fmt.Print(best.Text)
+	emitAssembly(emitDir, best.Name+".unit", best.Text)
+	if runSpec != "" {
+		parts := strings.SplitN(runSpec, ".", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf("-run wants bundle.symbol, got %q", runSpec))
+		}
+		m := best.Result.NewMachine()
+		con := machine.InstallConsole(m)
+		ser := machine.InstallSerial(m)
+		machine.InstallStopWatch(m)
+		v, err := best.Result.Run(m, parts[0], parts[1], arg)
+		if err != nil {
+			fail(err)
+		}
+		printStreams(con, ser)
+		fmt.Printf("%s(%d) = %d   [%d cycles, %d instructions]\n",
+			runSpec, arg, v, m.Cycles, m.Executed)
+	}
+}
+
+// emitAssembly writes one generated .unit file, creating dir on demand.
+func emitAssembly(dir, name, text string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("knit: wrote %s\n", path)
 }
 
 // runUpgrade live-reconfigures the machine that just served the first

@@ -8,8 +8,10 @@ import (
 	"strings"
 	"testing"
 
+	"knit/internal/knit/assemble"
 	"knit/internal/knit/build"
 	"knit/internal/machine"
+	"knit/internal/oskit"
 )
 
 func TestQuotedStrings(t *testing.T) {
@@ -192,5 +194,71 @@ func TestCLIFuelBudget(t *testing.T) {
 	machine.InstallConsole(m2)
 	if v, err := res.Run(m2, "main", "run", 0); err != nil || v != 200 {
 		t.Errorf("unbudgeted run = %d, %v; want 200", v, err)
+	}
+}
+
+// TestAssembleCLIEndToEnd drives the -assemble path the knit command
+// takes against the committed goal specs: parse the goal, search the
+// built-in oskit repository, emit the winning .unit to a directory, and
+// run the assembled kernel.
+func TestAssembleCLIEndToEnd(t *testing.T) {
+	goalPath := filepath.Join("..", "..", "examples", "assemble", "src", "hello.goal")
+	data, err := os.ReadFile(goalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, err := assemble.ParseGoal(goalPath, string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := assemble.Assemble(oskit.Repository(), goal, assemble.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	emitAssembly(dir, best.Name+".unit", best.Text)
+	emitted, err := os.ReadFile(filepath.Join(dir, best.Name+".unit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(emitted) != best.Text {
+		t.Fatal("emitted file does not match the assembly text")
+	}
+	m := best.Result.NewMachine()
+	machine.InstallConsole(m)
+	ser := machine.InstallSerial(m)
+	machine.InstallStopWatch(m)
+	v, err := best.Result.Run(m, "main", "kmain", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Errorf("assembled HelloMain kmain(5) = %d, want 10", v)
+	}
+	if !strings.Contains(ser.String(), "hello") {
+		t.Errorf("serial output %q lacks greeting (goal requires SerialDev)", ser.String())
+	}
+}
+
+// TestAssembleCLIUnsatExplains mirrors `knit -assemble` on the
+// committed unsatisfiable goal: the driver must surface the blocking
+// constraint, not a wiring.
+func TestAssembleCLIUnsatExplains(t *testing.T) {
+	goalPath := filepath.Join("..", "..", "examples", "assemble", "src", "badirq.goal")
+	data, err := os.ReadFile(goalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, err := assemble.ParseGoal(goalPath, string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = assemble.Assemble(oskit.Repository(), goal, assemble.Options{})
+	var unsat *assemble.UnsatError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("want UnsatError, got %v", err)
+	}
+	if !strings.Contains(unsat.Error(), "context") {
+		t.Errorf("explanation %q does not name the context constraint", unsat.Error())
 	}
 }

@@ -1,0 +1,84 @@
+// Assemble: goal-directed composition over the oskit repository — the
+// inverse of the §4 constraint checker. Each committed goal spec in
+// src/ asks for exports, property bounds, and required/forbidden units;
+// the assembler searches the repository for satisfying wirings, prunes
+// with the poset solver on partial assemblies, ranks survivors by
+// measured cost (image text size + init-schedule cycles), and verifies
+// the winner through the real build pipeline. The badirq goal is
+// deliberately unsatisfiable and demonstrates the minimal explanation.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"knit/internal/knit/assemble"
+	"knit/internal/machine"
+	"knit/internal/oskit"
+)
+
+func main() {
+	repo := oskit.Repository()
+	goals, err := filepath.Glob(filepath.Join(srcDir(), "*.goal"))
+	if err != nil || len(goals) == 0 {
+		log.Fatalf("no goal specs found: %v", err)
+	}
+	for _, path := range goals {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		goal, err := assemble.ParseGoal(filepath.Base(path), string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", filepath.Base(path))
+		best, err := assemble.Assemble(repo, goal, assemble.Options{})
+		var unsat *assemble.UnsatError
+		if errors.As(err, &unsat) {
+			fmt.Printf("unsatisfiable (as %s should be): %s\n\n", goal.Name, unsat.Reason)
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("best of the verified wirings: %s\n  units: %s\n",
+			best.Cost, strings.Join(best.Units, ", "))
+		if hasMain(best) {
+			m := best.Result.NewMachine()
+			con := machine.InstallConsole(m)
+			ser := machine.InstallSerial(m)
+			machine.InstallStopWatch(m)
+			v, err := best.Result.Run(m, "main", "kmain", 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  kmain(3) = %d, console %q, serial %q\n", v, con.String(), ser.String())
+		}
+		fmt.Println()
+	}
+}
+
+func hasMain(a *assemble.Assembly) bool {
+	for _, e := range a.Goal.Exports {
+		if e.Type == "Main" {
+			return true
+		}
+	}
+	return false
+}
+
+// srcDir locates the goal specs whether run from the repo root or from
+// this example's directory.
+func srcDir() string {
+	for _, d := range []string{"src", filepath.Join("examples", "assemble", "src")} {
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d
+		}
+	}
+	return "src"
+}

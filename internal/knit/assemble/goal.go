@@ -1,0 +1,289 @@
+// Package assemble inverts the constraint checker: instead of rejecting
+// a bad composition, it searches a unit repository for compositions that
+// satisfy a declarative goal — the exports wanted, property bounds such
+// as "context(out) <= NoContext", units that must or must not appear —
+// ranks the satisfying wirings by predicted cost (flattened text size
+// plus init-schedule cycles from the machine model), and emits the
+// winner as printable .unit source that round-trips through the real
+// build pipeline as verification.
+//
+// The search is a backtracking enumeration over export providers. Each
+// partial assembly is checked with the §4 poset solver as it is
+// extended (constraint.CheckAssembly treats unwired imports as
+// unconstrained, and narrowing is monotone, so a violation in a prefix
+// is final); dead branches are pruned instead of validating only
+// complete candidates. An unsatisfiable goal yields an *UnsatError
+// naming the blocking constraint or missing export, never a wiring.
+package assemble
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"knit/internal/knit/lang"
+)
+
+// Goal is a declarative assembly request over a unit repository.
+type Goal struct {
+	// Name labels the goal; generated units are named after it.
+	Name string
+	// Exports are the bundles the assembly must provide, with the local
+	// names the emitted compound unit exports them under.
+	Exports []lang.Binding
+	// Bounds are property bounds on the goal's exports, e.g.
+	// "context(out) <= NoContext". Arg may be an export local or the
+	// keyword "exports" (every export).
+	Bounds []GoalBound
+	// Use lists units that must appear in the assembly; each is
+	// instantiated up front and its exports become available for reuse.
+	Use []string
+	// Avoid lists units that must not appear, directly or inside a
+	// compound provider.
+	Avoid []string
+	// Top, when non-empty, fixes the unit that must provide every goal
+	// export — the assembly's entry component.
+	Top string
+	// Limit caps the number of unit instances the search may place
+	// (0 = the assembler's default).
+	Limit int
+}
+
+// GoalBound is one property bound of a goal.
+type GoalBound struct {
+	Prop  string
+	Arg   string // export local or "exports"
+	Op    lang.ConstraintOp
+	Value string
+}
+
+func (b GoalBound) String() string {
+	return fmt.Sprintf("%s(%s) %s %s", b.Prop, b.Arg, b.Op, b.Value)
+}
+
+// String renders the goal back to its concrete syntax; the output
+// reparses to an equivalent goal.
+func (g *Goal) String() string {
+	var sb strings.Builder
+	if g.Name != "" {
+		fmt.Fprintf(&sb, "goal %s;\n", g.Name)
+	}
+	for _, e := range g.Exports {
+		fmt.Fprintf(&sb, "export %s : %s;\n", e.Local, e.Type)
+	}
+	for _, b := range g.Bounds {
+		fmt.Fprintf(&sb, "bound %s;\n", b)
+	}
+	for _, u := range g.Use {
+		fmt.Fprintf(&sb, "use %s;\n", u)
+	}
+	for _, u := range g.Avoid {
+		fmt.Fprintf(&sb, "avoid %s;\n", u)
+	}
+	if g.Top != "" {
+		fmt.Fprintf(&sb, "top %s;\n", g.Top)
+	}
+	if g.Limit > 0 {
+		fmt.Fprintf(&sb, "limit %d;\n", g.Limit)
+	}
+	return sb.String()
+}
+
+// ParseGoal parses a goal-spec file. The format is statement-per-
+// semicolon:
+//
+//	goal SafeConsole;              // optional label
+//	export out : PutChar;          // repeatable
+//	bound context(out) <= NoContext;
+//	use SerialDev;                 // required units
+//	avoid ConsoleDev;              // forbidden units
+//	top HelloKernel;               // optional fixed entry provider
+//	limit 12;                      // optional instance cap
+//
+// Comments run from "//" or "#" to end of line.
+func ParseGoal(name, text string) (*Goal, error) {
+	g := &Goal{}
+	seenLocal := map[string]bool{}
+	for ln, stmt := range splitStatements(text) {
+		toks := tokenize(stmt)
+		if len(toks) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s: statement %d (%q): %s", name, ln+1,
+				strings.Join(toks, " "), fmt.Sprintf(format, args...))
+		}
+		switch toks[0] {
+		case "goal":
+			if len(toks) != 2 || !isIdent(toks[1]) {
+				return nil, fail("want 'goal Name'")
+			}
+			if g.Name != "" {
+				return nil, fail("goal name declared twice")
+			}
+			g.Name = toks[1]
+		case "export":
+			if len(toks) != 4 || toks[2] != ":" || !isIdent(toks[1]) || !isIdent(toks[3]) {
+				return nil, fail("want 'export local : BundleType'")
+			}
+			if seenLocal[toks[1]] {
+				return nil, fail("export local %q declared twice", toks[1])
+			}
+			seenLocal[toks[1]] = true
+			g.Exports = append(g.Exports, lang.Binding{Local: toks[1], Type: toks[3]})
+		case "bound":
+			// bound prop ( arg ) op Value
+			if len(toks) != 7 || toks[2] != "(" || toks[4] != ")" ||
+				!isIdent(toks[1]) || !isIdent(toks[3]) || !isIdent(toks[6]) {
+				return nil, fail("want 'bound prop(arg) <=|>=|= Value'")
+			}
+			op, ok := parseOp(toks[5])
+			if !ok {
+				return nil, fail("bad operator %q", toks[5])
+			}
+			g.Bounds = append(g.Bounds, GoalBound{Prop: toks[1], Arg: toks[3], Op: op, Value: toks[6]})
+		case "use", "avoid":
+			if len(toks) < 2 {
+				return nil, fail("want '%s Unit[, Unit...]'", toks[0])
+			}
+			for _, u := range toks[1:] {
+				if u == "," {
+					continue
+				}
+				if !isIdent(u) {
+					return nil, fail("bad unit name %q", u)
+				}
+				if toks[0] == "use" {
+					g.Use = appendIfAbsent(g.Use, u)
+				} else {
+					g.Avoid = appendIfAbsent(g.Avoid, u)
+				}
+			}
+		case "top":
+			if len(toks) != 2 || !isIdent(toks[1]) {
+				return nil, fail("want 'top Unit'")
+			}
+			if g.Top != "" {
+				return nil, fail("top declared twice")
+			}
+			g.Top = toks[1]
+		case "limit":
+			if len(toks) != 2 {
+				return nil, fail("want 'limit N'")
+			}
+			n, err := strconv.Atoi(toks[1])
+			if err != nil || n <= 0 {
+				return nil, fail("bad limit %q", toks[1])
+			}
+			g.Limit = n
+		default:
+			return nil, fail("unknown directive %q", toks[0])
+		}
+	}
+	if len(g.Exports) == 0 {
+		return nil, fmt.Errorf("%s: goal declares no exports", name)
+	}
+	sort.Strings(g.Use)
+	sort.Strings(g.Avoid)
+	return g, nil
+}
+
+// splitStatements strips comments and splits on semicolons.
+func splitStatements(text string) []string {
+	var clean strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	parts := strings.Split(clean.String(), ";")
+	// Trailing text after the last semicolon must be blank.
+	out := parts[:len(parts)-1]
+	if strings.TrimSpace(parts[len(parts)-1]) != "" {
+		out = parts // surface it as a malformed statement
+	}
+	return out
+}
+
+// tokenize splits a statement into words and punctuation.
+func tokenize(stmt string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	rs := []rune(stmt)
+	for i := 0; i < len(rs); i++ {
+		c := rs[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			flush()
+		case c == '(' || c == ')' || c == ':' || c == ',':
+			flush()
+			toks = append(toks, string(c))
+		case c == '<' || c == '>':
+			flush()
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, string(c)+"=")
+				i++
+			} else {
+				toks = append(toks, string(c))
+			}
+		case c == '=':
+			flush()
+			toks = append(toks, "=")
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	flush()
+	return toks
+}
+
+func parseOp(s string) (lang.ConstraintOp, bool) {
+	switch s {
+	case "=":
+		return lang.OpEq, true
+	case "<=":
+		return lang.OpLe, true
+	case ">=":
+		return lang.OpGe, true
+	}
+	return 0, false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func appendIfAbsent(dst []string, s string) []string {
+	for _, d := range dst {
+		if d == s {
+			return dst
+		}
+	}
+	return append(dst, s)
+}

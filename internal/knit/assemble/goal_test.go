@@ -1,0 +1,89 @@
+package assemble
+
+import (
+	"strings"
+	"testing"
+
+	"knit/internal/knit/lang"
+)
+
+func TestParseGoalFull(t *testing.T) {
+	g, err := ParseGoal("t.goal", `
+// a console that is interrupt-safe
+goal SafeConsole;
+export out : PutChar;
+export pf : Printf;          # two exports
+bound context(out) <= NoContext;
+bound context(exports) >= ProcessContext;
+use SerialDev, StringU;
+avoid ConsoleDev;
+top HelloKernel;
+limit 12;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "SafeConsole" || g.Top != "HelloKernel" || g.Limit != 12 {
+		t.Fatalf("header fields wrong: %+v", g)
+	}
+	if len(g.Exports) != 2 || g.Exports[0] != (lang.Binding{Local: "out", Type: "PutChar"}) {
+		t.Fatalf("exports = %+v", g.Exports)
+	}
+	if len(g.Bounds) != 2 || g.Bounds[0].Op != lang.OpLe || g.Bounds[1].Arg != lang.ExportsKeyword {
+		t.Fatalf("bounds = %+v", g.Bounds)
+	}
+	if strings.Join(g.Use, ",") != "SerialDev,StringU" || strings.Join(g.Avoid, ",") != "ConsoleDev" {
+		t.Fatalf("use/avoid = %v / %v", g.Use, g.Avoid)
+	}
+}
+
+func TestGoalStringRoundTrip(t *testing.T) {
+	src := `goal G;
+export out : PutChar;
+bound context(out) <= NoContext;
+use SerialDev;
+avoid ConsoleDev;
+top HelloKernel;
+limit 7;
+`
+	g, err := ParseGoal("t.goal", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGoal("rt.goal", g.String())
+	if err != nil {
+		t.Fatalf("round trip reparse: %v", err)
+	}
+	if g.String() != g2.String() {
+		t.Fatalf("round trip drifted:\n%s\nvs\n%s", g, g2)
+	}
+}
+
+func TestParseGoalErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no exports", `goal G;`, "no exports"},
+		{"dup local", `export a : T; export a : U;`, "declared twice"},
+		{"dup goal", `goal A; goal B; export a : T;`, "twice"},
+		{"dup top", `export a : T; top A; top B;`, "twice"},
+		{"bad bound", `export a : T; bound context a <= V;`, "bound"},
+		{"bad op", `export a : T; bound context(a) < V;`, "bad operator"},
+		{"bad limit", `export a : T; limit zero;`, "bad limit"},
+		{"neg limit", `export a : T; limit -3;`, "bad limit"},
+		{"unknown directive", `export a : T; wibble;`, "unknown directive"},
+		{"trailing junk", `export a : T; garbage here`, "unknown directive"},
+		{"bad ident", `export 9a : T;`, "export"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseGoal("t.goal", tc.src)
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -97,6 +97,20 @@ func (v *Violation) Error() string {
 	return fmt.Sprintf("knit: constraint violation at %s: %s", v.Var, v.Reason)
 }
 
+// Bound is a value constraint imposed from outside the unit language —
+// an assembly goal's "context(out) <= NoContext" — on one endpoint of a
+// candidate configuration. CheckAssembly narrows the endpoint's domain
+// with it exactly as if the owning unit had declared the clause itself.
+type Bound struct {
+	Var   Var
+	Op    lang.ConstraintOp
+	Value string
+}
+
+func (b Bound) String() string {
+	return fmt.Sprintf("%s %s %s", b.Var, b.Op, b.Value)
+}
+
 // Report summarizes a check.
 type Report struct {
 	Vars       int
@@ -113,8 +127,22 @@ type Report struct {
 // Check validates every constraint in the program. It returns a Report
 // on success and a *Violation error on failure.
 func Check(prog *link.Program) (*Report, error) {
+	return CheckAssembly(prog.Registry, prog.SortedInstances(), nil)
+}
+
+// CheckAssembly validates constraints over an explicit instance set.
+// Unlike Check it does not require a fully elaborated program: imports
+// whose wires are nil (or have no provider yet) are simply treated as
+// unconstrained, so a *partial* assembly can be checked as a search
+// extends it — a violation in a partial wiring is final (adding more
+// wires only narrows domains further), which is what lets the
+// goal-directed assembler prune dead branches early instead of
+// validating only complete candidates. The optional bounds impose
+// additional value constraints (an assembly goal's property bounds) on
+// endpoints of the configuration.
+func CheckAssembly(reg *link.Registry, instances []*link.Instance, bounds []Bound) (*Report, error) {
 	posets := map[string]*Poset{}
-	for name, p := range prog.Registry.Properties {
+	for name, p := range reg.Properties {
 		ps, err := NewPoset(p)
 		if err != nil {
 			return nil, err
@@ -173,7 +201,7 @@ func Check(prog *link.Program) (*Report, error) {
 
 	// Gather constraints from every instance.
 	explicit := map[*link.Instance]map[string]bool{}
-	for _, inst := range prog.SortedInstances() {
+	for _, inst := range instances {
 		for _, c := range inst.Unit.Constraints {
 			prop := c.LHS.Prop
 			if prop == "" {
@@ -185,7 +213,7 @@ func Check(prog *link.Program) (*Report, error) {
 			explicit[inst][prop] = true
 		}
 	}
-	for _, inst := range prog.SortedInstances() {
+	for _, inst := range instances {
 		for _, c := range inst.Unit.Constraints {
 			prop := c.LHS.Prop
 			if prop == "" {
@@ -252,18 +280,38 @@ func Check(prog *link.Program) (*Report, error) {
 		}
 	}
 
+	// External bounds (assembly goals) narrow their endpoint's domain
+	// like a declared value constraint would.
+	for _, bd := range bounds {
+		ps, ok := posets[bd.Var.Prop]
+		if !ok {
+			return nil, fmt.Errorf("knit: bound %s: unknown property %q", bd, bd.Var.Prop)
+		}
+		if !ps.Has(bd.Value) {
+			return nil, fmt.Errorf("knit: bound %s: %q is not a value of property %s",
+				bd, bd.Value, bd.Var.Prop)
+		}
+		narrow(domainOf(bd.Var), ps, bd.Op, bd.Value)
+		report.Narrowings++
+		if len(domainOf(bd.Var)) == 0 {
+			return nil, &Violation{Var: bd.Var, Reason: fmt.Sprintf(
+				"no value satisfies the goal bound %s %s %s", bd.Var, bd.Op, bd.Value)}
+		}
+	}
+
 	// Implicit propagation (the §8 "reduce repetition" extension): for a
 	// property declared "propagates", any unit without explicit
 	// constraints on that property behaves as if it declared
 	// p(exports) <= p(imports).
-	for name, p := range prog.Registry.Properties {
+	for _, name := range sortedPropNames(reg) {
+		p := reg.Properties[name]
 		if !p.Propagates {
 			continue
 		}
 		if _, ok := posets[name]; !ok {
 			continue
 		}
-		for _, inst := range prog.SortedInstances() {
+		for _, inst := range instances {
 			if explicit[inst][name] {
 				continue
 			}
@@ -287,12 +335,12 @@ func Check(prog *link.Program) (*Report, error) {
 	// endpoints, for every property that is constrained anywhere in the
 	// program (so narrowings propagate along arbitrary wiring chains).
 	usedProps := map[string]bool{}
-	for name, p := range prog.Registry.Properties {
+	for name, p := range reg.Properties {
 		if p.Propagates {
 			usedProps[name] = true
 		}
 	}
-	for _, inst := range prog.Instances {
+	for _, inst := range instances {
 		for _, c := range inst.Unit.Constraints {
 			if c.LHS.Prop != "" {
 				usedProps[c.LHS.Prop] = true
@@ -302,13 +350,20 @@ func Check(prog *link.Program) (*Report, error) {
 			}
 		}
 	}
-	for _, inst := range prog.SortedInstances() {
+	for _, bd := range bounds {
+		usedProps[bd.Var.Prop] = true
+	}
+	// Sorted property order keeps the relation list — and therefore
+	// which of several simultaneous violations gets reported — stable
+	// across runs.
+	propOrder := keys(usedProps)
+	for _, inst := range instances {
 		for _, imp := range inst.Unit.Imports {
 			w := inst.ImportWires[imp.Local]
 			if w == nil || w.Provider == nil {
 				continue
 			}
-			for prop := range usedProps {
+			for _, prop := range propOrder {
 				if _, known := posets[prop]; !known {
 					continue
 				}
@@ -415,6 +470,15 @@ func flip(op lang.ConstraintOp) lang.ConstraintOp {
 		return lang.OpLe
 	}
 	return lang.OpEq
+}
+
+func sortedPropNames(reg *link.Registry) []string {
+	out := make([]string, 0, len(reg.Properties))
+	for name := range reg.Properties {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func keys(m map[string]bool) []string {

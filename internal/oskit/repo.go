@@ -1,0 +1,14 @@
+package oskit
+
+import "knit/internal/knit/assemble"
+
+// Repository packages the kit as a searchable unit repository for the
+// goal-directed assembler: every unit definition (base kit, kernels,
+// extras, deferred-work stack) plus the full virtual source filesystem,
+// so anything the searcher wires together can be built and run.
+func Repository() assemble.Repo {
+	return assemble.Repo{
+		UnitFiles: map[string]string{"oskit.unit": Units()},
+		Sources:   KernelSources(),
+	}
+}
